@@ -1,0 +1,93 @@
+// Ablation: why RAP's diagonal congestion is slightly above RAS's.
+//
+// Section V: two requests in *different rows* land in the same bank with
+// probability 1/w under RAS (independent offsets) but 1/(w-1) under RAP
+// (the offsets are distinct permutation entries: given the first row's
+// shift, the second avoids exactly one of the remaining w-1 values that
+// would separate them... symmetric over the w-1 remaining values, one of
+// which collides). This bench measures both probabilities and the
+// downstream effect on diagonal congestion, plus the hill-climbing
+// adversary as a lower-bound probe that the structured attacks are tight.
+//
+//   $ ablation_collision_prob [--widths=8,16,32,64] [--trials=200000]
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "access/adversary.hpp"
+#include "access/montecarlo.hpp"
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rapsim;
+  const util::CliArgs args(argc, argv);
+  const auto widths = args.get_uint_list("widths", {8, 16, 32, 64});
+  const std::uint64_t trials = args.get_uint("trials", 200000);
+  const std::uint64_t seed = args.get_uint("seed", 4);
+
+  std::printf("== Ablation: pairwise collision probability, RAS vs RAP ==\n\n");
+
+  util::TextTable table;
+  table.row()
+      .add("w")
+      .add("P[collide] RAS")
+      .add("1/w")
+      .add("P[collide] RAP")
+      .add("1/(w-1)")
+      .add("diag E[C] RAS")
+      .add("diag E[C] RAP");
+
+  for (const auto w64 : widths) {
+    const auto w = static_cast<std::uint32_t>(w64);
+    // Measure: cells (0, 0) and (1, 1) — different rows AND different
+    // columns ("distant addresses"). Same-column pairs can never collide
+    // under RAP (the permutation entries are distinct), which is exactly
+    // the stride guarantee; the interesting case is a nonzero column
+    // difference d, where RAP collides iff p_0 - p_1 = d: probability
+    // 1/(w-1) vs RAS's 1/w.
+    std::uint64_t ras_hits = 0, rap_hits = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const auto ras = core::make_matrix_map(core::Scheme::kRas, w, w, seed + t);
+      const auto rap = core::make_matrix_map(core::Scheme::kRap, w, w, seed + t);
+      ras_hits += ras->bank_of(ras->index(0, 0)) == ras->bank_of(ras->index(1, 1));
+      rap_hits += rap->bank_of(rap->index(0, 0)) == rap->bank_of(rap->index(1, 1));
+    }
+    const auto diag_ras = access::estimate_congestion_2d(
+        core::Scheme::kRas, access::Pattern2d::kDiagonal, w, trials / 10, seed);
+    const auto diag_rap = access::estimate_congestion_2d(
+        core::Scheme::kRap, access::Pattern2d::kDiagonal, w, trials / 10, seed);
+    table.row()
+        .add(w64)
+        .add(static_cast<double>(ras_hits) / static_cast<double>(trials), 4)
+        .add(1.0 / w, 4)
+        .add(static_cast<double>(rap_hits) / static_cast<double>(trials), 4)
+        .add(1.0 / (w - 1), 4)
+        .add(diag_ras.mean, 3)
+        .add(diag_rap.mean, 3);
+  }
+  table.print(std::cout, args.get_table_style());
+
+  // Adversary-search probe: does an unstructured hill-climber beat the
+  // structured one-cell-per-row adversary against RAP at w = 16?
+  std::printf("\n-- adversary search probe (RAP, w = 16) --\n");
+  const std::uint32_t w = 16;
+  const auto searched = access::search_adversary(
+      [&](std::uint64_t s) {
+        return core::make_matrix_map(core::Scheme::kRap, w, w, s);
+      },
+      w, static_cast<std::uint64_t>(w) * w, 400, 32, seed);
+  const auto structured = access::estimate_congestion_2d(
+      core::Scheme::kRap, access::Pattern2d::kMalicious, w, 5000, seed);
+  std::printf("structured adversary E[C] = %.3f\n", structured.mean);
+  std::printf("hill-climber found    E[C] = %.3f (over its sample draws)\n",
+              searched.mean_congestion);
+  std::printf(
+      "\nThe hill-climber cannot durably beat the structured attack: RAP's\n"
+      "draw is fresh each trial, so only the placement *structure* helps,\n"
+      "and one-cell-per-row already maximizes the collision surface.\n");
+  return 0;
+}

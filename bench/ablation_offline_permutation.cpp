@@ -1,0 +1,103 @@
+// Ablation: RAP vs the conflict-free graph-coloring scheduler on offline
+// permutation — the comparison behind the paper's Section I narrative
+// ("we have developed a complicated graph coloring technique ... it may
+// be a very hard task"; RAP gets most of the benefit automatically).
+//
+// For several classic permutations of n = w^2 elements, prints the DMM
+// time of: direct kernel under RAW / RAS / RAP, and the scheduled
+// (edge-colored) kernel under RAW, plus the slowdown of RAP relative to
+// the scheduled optimum.
+//
+//   $ ablation_offline_permutation [--width=32] [--seeds=50]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "dmm/machine.hpp"
+#include "permute/offline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rapsim;
+
+double direct_time(const core::Permutation& pi,
+                   const permute::PermutationLayout& layout,
+                   core::Scheme scheme, std::uint64_t seeds) {
+  const auto kernel = permute::build_direct_kernel(pi, layout);
+  double sum = 0;
+  const std::uint64_t n_seeds = scheme == core::Scheme::kRaw ? 1 : seeds;
+  for (std::uint64_t seed = 1; seed <= n_seeds; ++seed) {
+    const auto map = core::make_matrix_map(scheme, layout.width,
+                                           layout.total_rows(), seed);
+    dmm::Dmm machine(dmm::DmmConfig{layout.width, 1}, *map);
+    sum += static_cast<double>(machine.run(kernel).time);
+  }
+  return sum / static_cast<double>(n_seeds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
+  const std::uint64_t seeds = args.get_uint("seeds", 50);
+  const permute::PermutationLayout layout{width, width};
+  const auto n = static_cast<std::uint32_t>(layout.elements());
+
+  std::printf(
+      "== Ablation: offline permutation of n = %u elements (w = %u) ==\n\n",
+      n, width);
+
+  util::Pcg32 rng(99);
+  const struct {
+    const char* label;
+    core::Permutation pi;
+  } cases[] = {
+      {"transpose", permute::transpose_permutation(width)},
+      {"bit-reversal", permute::bit_reversal_permutation(n)},
+      {"stride w+1", permute::stride_permutation(n, width + 1)},
+      {"random", core::Permutation::random(n, rng)},
+      {"identity", core::Permutation::identity(n)},
+  };
+
+  util::TextTable table;
+  table.row()
+      .add("permutation")
+      .add("direct RAW")
+      .add("direct RAS")
+      .add("direct RAP")
+      .add("colored RAW")
+      .add("RAP/colored");
+
+  for (const auto& c : cases) {
+    const double raw = direct_time(c.pi, layout, core::Scheme::kRaw, seeds);
+    const double ras = direct_time(c.pi, layout, core::Scheme::kRas, seeds);
+    const double rap = direct_time(c.pi, layout, core::Scheme::kRap, seeds);
+
+    const auto raw_map = core::make_matrix_map(core::Scheme::kRaw, width,
+                                               layout.total_rows(), 1);
+    dmm::Dmm machine(dmm::DmmConfig{width, 1}, *raw_map);
+    const auto colored =
+        machine.run(permute::build_scheduled_kernel(c.pi, layout));
+
+    table.row()
+        .add(c.label)
+        .add(raw, 1)
+        .add(ras, 1)
+        .add(rap, 1)
+        .add(colored.time)
+        .add(rap / static_cast<double>(colored.time), 2);
+  }
+  table.print(std::cout, args.get_table_style());
+
+  std::printf(
+      "\nThe colored schedule is the conflict-free optimum (congestion 1 on\n"
+      "both phases) but needs the full permutation in advance plus an\n"
+      "O(n * w) coloring pass; RAP lands within a small constant factor\n"
+      "with zero precomputation and works for addresses computed on the\n"
+      "fly — the paper's trade-off in one table.\n");
+  return 0;
+}

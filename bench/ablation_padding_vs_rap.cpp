@@ -1,0 +1,84 @@
+// Ablation: RAP vs the "+1 padding" folklore fix.
+//
+// Padding (`__shared__ double a[w][w+1]`, modeled bank-exactly as the
+// skew bank(i,j) = (i+j) mod w) is the fix every CUDA guide teaches for
+// stride conflicts. Like RAP it makes contiguous AND stride access
+// conflict-free, and it costs zero random words — so why randomize?
+// Three reasons this bench quantifies:
+//
+//   1. the skew is deterministic and public: anti-diagonal access (and
+//      any adversary) puts the whole warp in one bank — congestion w,
+//      exactly the failure RAW has on columns;
+//   2. the real padded layout burns `rows` words of shared memory
+//      (a 32x32 double tile grows by 256 bytes, ~3%), while RAP is
+//      in-place;
+//   3. padding only helps patterns aligned with its skew; RAP's
+//      guarantee is distribution-wide (Theorem 2).
+//
+//   $ ablation_padding_vs_rap [--width=32] [--trials=20000]
+
+#include <cstdio>
+#include <iostream>
+
+#include "access/montecarlo.hpp"
+#include "core/factory.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rapsim;
+  const util::CliArgs args(argc, argv);
+  const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
+  const std::uint64_t trials = args.get_uint("trials", 20000);
+  const std::uint64_t seed = args.get_uint("seed", 3);
+
+  std::printf("== Ablation: padding (skew) vs RAP, w = %u ==\n\n", width);
+
+  const core::Scheme schemes[] = {core::Scheme::kRaw, core::Scheme::kPad,
+                                  core::Scheme::kRap};
+
+  util::TextTable table;
+  table.row().add("access");
+  for (const auto s : schemes) table.add(core::scheme_name(s));
+
+  const struct {
+    const char* label;
+    access::Pattern2d pattern;
+  } rows[] = {
+      {"Contiguous", access::Pattern2d::kContiguous},
+      {"Stride", access::Pattern2d::kStride},
+      {"Diagonal", access::Pattern2d::kDiagonal},
+      {"Random", access::Pattern2d::kRandom},
+      {"Malicious", access::Pattern2d::kMalicious},
+  };
+
+  for (const auto& row : rows) {
+    table.row().add(row.label);
+    for (const auto scheme : schemes) {
+      const auto est = access::estimate_congestion_2d(scheme, row.pattern,
+                                                      width, trials, seed);
+      if (est.min == est.max) {
+        table.add(static_cast<std::uint64_t>(est.max));
+      } else {
+        table.add(est.mean, 2);
+      }
+    }
+  }
+
+  table.row().add("random words");
+  for (const auto scheme : schemes) {
+    table.add(core::make_matrix_map(scheme, width, width, seed)->random_words());
+  }
+  table.row().add("extra shared words");
+  table.add("0").add(std::to_string(width) + " (real layout)").add("0");
+
+  table.print(std::cout, args.get_table_style());
+
+  std::printf(
+      "\nPadding matches RAP on contiguous/stride at zero random cost, but\n"
+      "its Malicious row collapses to w (the skew is public) and its\n"
+      "Diagonal row shows the aligned-pattern fragility (bank (2i+d) hits\n"
+      "each even bank twice for even w). RAP pays w random words for a\n"
+      "guarantee that holds against every access pattern.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduction of Figure 4: the contiguous, stride and diagonal access
+// operations for w = 4, printed as thread-to-cell maps with their banks
+// and congestion.
+
+#include <cstdio>
+
+#include "access/pattern2d.hpp"
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+
+int main() {
+  using namespace rapsim;
+  constexpr std::uint32_t kWidth = 4;
+  const auto map = core::make_matrix_map(core::Scheme::kRaw, kWidth, kWidth, 1);
+  util::Pcg32 rng(1);
+
+  std::printf("== Figure 4: fundamental access operations (w = 4, RAW) ==\n");
+
+  const access::Pattern2d patterns[] = {access::Pattern2d::kContiguous,
+                                        access::Pattern2d::kStride,
+                                        access::Pattern2d::kDiagonal};
+  for (const auto pattern : patterns) {
+    std::printf("\n-- %s access --\n", access::pattern2d_name(pattern));
+    // Show the full operation: one warp per row/column/diagonal index.
+    std::uint32_t worst = 0;
+    for (std::uint32_t warp = 0; warp < kWidth; ++warp) {
+      const auto addrs = access::warp_addresses_2d(pattern, *map, warp, rng);
+      const auto r = core::congestion_of_logical(addrs, *map);
+      worst = std::max(worst, r.congestion);
+      std::printf("warp %u -> cells", warp);
+      for (const auto a : addrs) {
+        std::printf(" (%llu,%llu)", static_cast<unsigned long long>(a / kWidth),
+                    static_cast<unsigned long long>(a % kWidth));
+      }
+      std::printf("  banks");
+      for (const auto a : addrs) {
+        std::printf(" %u", map->bank_of(a));
+      }
+      std::printf("  congestion %u\n", r.congestion);
+    }
+    std::printf("operation congestion: %u (paper: %s)\n", worst,
+                pattern == access::Pattern2d::kStride ? "w" : "1");
+  }
+  return 0;
+}

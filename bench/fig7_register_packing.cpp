@@ -1,0 +1,47 @@
+// Reproduction of Figure 7: packing the 32 5-bit random shift values
+// r_0..r_31 into six 32-bit local registers r[0..5], extracted in the
+// kernel as (r[i/6] >> (5*(i%6))) & 0x1f.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/permutation.hpp"
+#include "gpu/register_pack.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rapsim;
+  constexpr std::uint32_t kWidth = 32;
+
+  util::Pcg32 rng(2014);
+  const auto perm = core::Permutation::random(kWidth, rng);
+  std::vector<std::uint32_t> shifts(perm.image().begin(), perm.image().end());
+  const gpu::PackedShifts packed(shifts, kWidth);
+
+  std::printf("== Figure 7: RAP shifts packed into local registers ==\n\n");
+  std::printf("w = %u, %u bits per value, %u values per 32-bit word, %zu "
+              "words (paper: int r[6])\n\n",
+              kWidth, packed.bits(), packed.values_per_word(),
+              packed.words().size());
+
+  for (std::size_t word = 0; word < packed.words().size(); ++word) {
+    std::printf("r[%zu] = 0x%08x  holds p_%zu..p_%zu =", word,
+                packed.words()[word], word * 6,
+                std::min<std::size_t>(word * 6 + 5, kWidth - 1));
+    for (std::size_t i = word * 6; i < std::min<std::size_t>(word * 6 + 6, kWidth);
+         ++i) {
+      std::printf(" %2u", packed.get(static_cast<std::uint32_t>(i)));
+    }
+    std::printf("\n");
+  }
+
+  bool ok = packed.words().size() == 6;
+  for (std::uint32_t i = 0; i < kWidth; ++i) {
+    ok &= packed.get(i) == shifts[i];
+    // Check against the paper's literal extraction expression.
+    ok &= ((packed.words()[i / 6] >> (5 * (i % 6))) & 0x1f) == shifts[i];
+  }
+  std::printf("\nround-trip through the paper's extraction formula: %s\n",
+              ok ? "exact" : "MISMATCH");
+  return ok ? 0 : 1;
+}

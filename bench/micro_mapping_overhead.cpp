@@ -1,0 +1,108 @@
+// google-benchmark micro benchmarks: the host-side cost of the address
+// computations each scheme adds, plus simulator throughput.
+//
+// These measurements back the SM timing model's t_addr ordering
+// (RAW < RAP < RAS): RAP's shift is a packed-register extract + add +
+// mask; RAS needs a table lookup per row (which on the GPU spills to
+// shared memory for large row counts). Absolute host numbers are not GPU
+// numbers — only the ordering and rough ratios carry over.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+#include "gpu/register_pack.hpp"
+#include "transpose/runner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rapsim;
+
+void BM_TranslateRaw(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  const auto map = core::make_matrix_map(core::Scheme::kRaw, w, w, 1);
+  std::uint64_t a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->translate(a));
+    a = (a + 1) % map->size();
+  }
+}
+BENCHMARK(BM_TranslateRaw)->Arg(32)->Arg(256);
+
+void BM_TranslateRas(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  const auto map = core::make_matrix_map(core::Scheme::kRas, w, w, 1);
+  std::uint64_t a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->translate(a));
+    a = (a + 1) % map->size();
+  }
+}
+BENCHMARK(BM_TranslateRas)->Arg(32)->Arg(256);
+
+void BM_TranslateRap(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  const auto map = core::make_matrix_map(core::Scheme::kRap, w, w, 1);
+  std::uint64_t a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->translate(a));
+    a = (a + 1) % map->size();
+  }
+}
+BENCHMARK(BM_TranslateRap)->Arg(32)->Arg(256);
+
+// The inner RAP shift exactly as the CUDA kernel computes it: packed
+// extract + add + mask (Figure 7's expression).
+void BM_PackedShiftExtract(benchmark::State& state) {
+  util::Pcg32 rng(1);
+  const auto perm = core::Permutation::random(32, rng);
+  std::vector<std::uint32_t> shifts(perm.image().begin(), perm.image().end());
+  const gpu::PackedShifts packed(shifts, 32);
+  std::uint32_t i = 0, j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((j + packed.get(i)) & 0x1f);
+    i = (i + 1) & 31;
+    j = (j + 7) & 31;
+  }
+}
+BENCHMARK(BM_PackedShiftExtract);
+
+void BM_PermutationDraw(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  util::Pcg32 rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Permutation::random(w, rng));
+  }
+}
+BENCHMARK(BM_PermutationDraw)->Arg(32)->Arg(256);
+
+void BM_CongestionOfWarp(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  const auto map = core::make_matrix_map(core::Scheme::kRap, w, w, 1);
+  util::Pcg32 rng(3);
+  std::vector<std::uint64_t> addrs(w);
+  for (auto& a : addrs) a = rng.bounded(w * w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::congestion_value(addrs, *map));
+  }
+}
+BENCHMARK(BM_CongestionOfWarp)->Arg(32)->Arg(256);
+
+void BM_DmmTransposeRun(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose::run_transpose(
+        transpose::Algorithm::kCrsw, core::Scheme::kRap, w, 1, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * w *
+                          w);
+}
+BENCHMARK(BM_DmmTransposeRun)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Reproduction of Table I: the memory access congestion of the RAW, RAS
+// and RAP implementations for Any (adversarial), Contiguous and Stride
+// access.
+//
+// The paper's Table I is analytic (w for RAW "any"/stride, 1 for the
+// conflict-free cells, O(log w / log log w) for the randomized cells);
+// this bench prints the paper's claims side by side with *measured*
+// expectations at w = 32 so the asymptotic entries get concrete values,
+// plus the Theorem 2 envelope for reference.
+//
+//   $ table1_congestion_summary [--width=32] [--trials=20000] [--seed=1]
+
+#include <cstdio>
+#include <iostream>
+
+#include "access/montecarlo.hpp"
+#include "core/factory.hpp"
+#include "core/theory.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rapsim;
+  const util::CliArgs args(argc, argv);
+  const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
+  const std::uint64_t trials = args.get_uint("trials", 20000);
+  const std::uint64_t seed = args.get_uint("seed", 1);
+
+  std::printf("== Table I: congestion of RAW / RAS / RAP (w = %u) ==\n",
+              width);
+  std::printf("paper claims: Any = {w, O(ln w/ln ln w), O(ln w/ln ln w)}, "
+              "Contiguous = 1 everywhere, Stride = {w, O(...), 1}\n\n");
+
+  const struct {
+    const char* label;
+    access::Pattern2d pattern;
+  } rows[] = {
+      {"Any (malicious)", access::Pattern2d::kMalicious},
+      {"Contiguous", access::Pattern2d::kContiguous},
+      {"Stride", access::Pattern2d::kStride},
+  };
+
+  util::TextTable table;
+  table.row().add("access");
+  for (const core::Scheme s : core::table2_schemes()) {
+    table.add(std::string("E[C] ") + core::scheme_name(s));
+  }
+  table.add("paper RAW").add("paper RAS").add("paper RAP");
+
+  const std::string olog = "O(lnw/lnlnw)";
+  const char* paper[3][3] = {
+      {"w", olog.c_str(), olog.c_str()},
+      {"1", "1", "1"},
+      {"w", olog.c_str(), "1"},
+  };
+
+  for (std::size_t r = 0; r < 3; ++r) {
+    table.row().add(rows[r].label);
+    for (const core::Scheme scheme : core::table2_schemes()) {
+      const auto est = access::estimate_congestion_2d(scheme, rows[r].pattern,
+                                                      width, trials, seed);
+      table.add(est.mean, 2);
+    }
+    for (const char* cell : paper[r]) table.add(cell);
+  }
+  table.print(std::cout, args.get_table_style());
+
+  std::printf(
+      "\nTheorem 2 envelope at w = %u: E[C] <= %.2f "
+      "(2*(3 ln w/ln ln w + 1/2)); Lemma 4 per-bank tail bound %.2e.\n",
+      width, core::theorem2_expectation_bound(width),
+      core::lemma4_tail_bound(width));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Transpose workbench: full algorithm x scheme sweep with timing.
+//
+// Runs all three transpose algorithms (CRSW, SRCW, DRDW) under all three
+// mapping implementations (RAW, RAS, RAP) for a configurable width and
+// latency, averaging the randomized schemes over many seeds, and prints a
+// Table III-shaped report including the modeled GPU time.
+//
+//   $ transpose_workbench [--width=32] [--latency=1] [--seeds=100]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "gpu/sm_model.hpp"
+#include "transpose/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rapsim;
+  const util::CliArgs args(argc, argv);
+  const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
+  const auto latency =
+      static_cast<std::uint32_t>(args.get_uint("latency", 1));
+  const std::uint64_t seeds = args.get_uint("seeds", 100);
+  const auto params = gpu::SmTimingParams::titan_calibrated();
+
+  std::printf("== transpose workbench: w = %u, l = %u, %llu seeds ==\n\n",
+              width, latency, static_cast<unsigned long long>(seeds));
+
+  util::TextTable table;
+  table.row()
+      .add("algorithm")
+      .add("scheme")
+      .add("read cong")
+      .add("write cong")
+      .add("DMM time")
+      .add("model ns")
+      .add("correct");
+
+  for (const auto alg : {transpose::Algorithm::kCrsw,
+                         transpose::Algorithm::kSrcw,
+                         transpose::Algorithm::kDrdw}) {
+    for (const core::Scheme scheme : core::table2_schemes()) {
+      double read = 0, write = 0, time = 0, ns = 0;
+      bool all_correct = true;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const auto r =
+            transpose::run_transpose(alg, scheme, width, latency, seed);
+        all_correct &= r.correct;
+        read += r.read.avg;
+        write += r.write.avg;
+        time += static_cast<double>(r.stats.time);
+        ns += gpu::estimate_time_ns(r.stats.total_stages, r.stats.dispatches,
+                                    scheme, params);
+      }
+      const auto n = static_cast<double>(seeds);
+      table.row()
+          .add(transpose::algorithm_name(alg))
+          .add(core::scheme_name(scheme))
+          .add(read / n, 2)
+          .add(write / n, 2)
+          .add(time / n, 1)
+          .add(ns / n, 1)
+          .add(all_correct ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout, args.get_table_style());
+  std::printf(
+      "\nDMM time is in model time units; 'model ns' applies the calibrated\n"
+      "GTX-TITAN-shaped SM timing model (see src/gpu/sm_model.hpp).\n");
+  return 0;
+}

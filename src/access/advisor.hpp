@@ -1,0 +1,47 @@
+// Layout advisor: given a recorded set of warp accesses, score every
+// candidate scheme and recommend one.
+//
+// This is the downstream-user entry point the paper's conclusion gestures
+// at ("it is not necessary for CUDA developers to avoid bank conflicts if
+// they use the RAP"): capture the logical addresses your kernel's warps
+// touch (profiled or hand-written), hand them to evaluate_schemes(), and
+// get per-scheme expected congestion plus a recommendation that weighs
+// the randomized schemes' average case against the deterministic schemes'
+// exact behaviour on YOUR trace.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+
+namespace rapsim::access {
+
+/// One warp's worth of logical addresses (up to `width` entries).
+using WarpTrace = std::vector<std::uint64_t>;
+
+struct SchemeScore {
+  core::Scheme scheme = core::Scheme::kRaw;
+  double mean_congestion = 0.0;  // over warps (and draws, if randomized)
+  double max_congestion = 0.0;   // worst warp (averaged over draws)
+  std::uint64_t random_words = 0;
+};
+
+struct Advice {
+  std::vector<SchemeScore> scores;  // RAW, PAD, RAS, RAP — in that order
+  core::Scheme recommended = core::Scheme::kRaw;
+  std::string rationale;
+};
+
+/// Score the 2-D schemes on a trace over a `rows` x `width` logical
+/// array. Deterministic schemes (RAW, PAD) are evaluated exactly;
+/// randomized ones (RAS, RAP) are averaged over `draws` mapping draws
+/// seeded from `seed`.
+[[nodiscard]] Advice evaluate_schemes(const std::vector<WarpTrace>& traces,
+                                      std::uint32_t width, std::uint64_t rows,
+                                      std::uint32_t draws = 32,
+                                      std::uint64_t seed = 1);
+
+}  // namespace rapsim::access

@@ -1,0 +1,119 @@
+#include "access/montecarlo.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace rapsim::access {
+
+namespace {
+
+constexpr std::size_t kChunks = 64;  // fixed: part of the deterministic contract
+
+struct ChunkAccumulator {
+  util::OnlineStats stats;
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  bool any = false;
+
+  void add(std::uint32_t congestion) {
+    stats.add(congestion);
+    if (!any) {
+      min = max = congestion;
+      any = true;
+    } else {
+      min = std::min(min, congestion);
+      max = std::max(max, congestion);
+    }
+  }
+};
+
+CongestionEstimate reduce(const std::vector<ChunkAccumulator>& chunks) {
+  util::OnlineStats total;
+  CongestionEstimate est;
+  bool any = false;
+  for (const auto& c : chunks) {
+    if (!c.any) continue;
+    total.merge(c.stats);
+    if (!any) {
+      est.min = c.min;
+      est.max = c.max;
+      any = true;
+    } else {
+      est.min = std::min(est.min, c.min);
+      est.max = std::max(est.max, c.max);
+    }
+  }
+  est.mean = total.mean();
+  est.ci95 = total.ci95();
+  est.trials = total.count();
+  return est;
+}
+
+}  // namespace
+
+CongestionEstimate estimate_congestion_2d(core::Scheme scheme,
+                                          Pattern2d pattern,
+                                          std::uint32_t width,
+                                          std::uint64_t trials,
+                                          std::uint64_t seed) {
+  std::vector<ChunkAccumulator> chunks(kChunks);
+  util::parallel_for_chunks(
+      trials, kChunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        util::Pcg32 rng(seed ^ (0x32645f5472ull + chunk), chunk);
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::uint64_t map_seed =
+              seed * 0x9e3779b97f4a7c15ull + t + 1;
+          const auto map =
+              core::make_matrix_map(scheme, width, width, map_seed);
+          const std::uint32_t warp = rng.bounded(width);
+          const auto addrs = warp_addresses_2d(pattern, *map, warp, rng);
+          chunks[chunk].add(core::congestion_value(addrs, *map));
+        }
+      });
+  return reduce(chunks);
+}
+
+util::Tally congestion_distribution_2d(core::Scheme scheme,
+                                       Pattern2d pattern, std::uint32_t width,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed) {
+  util::Tally tally;
+  util::Pcg32 rng(seed ^ 0x64697374ull, 0);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t map_seed = seed * 0x9e3779b97f4a7c15ull + t + 1;
+    const auto map = core::make_matrix_map(scheme, width, width, map_seed);
+    const std::uint32_t warp = rng.bounded(width);
+    const auto addrs = warp_addresses_2d(pattern, *map, warp, rng);
+    tally.add(core::congestion_value(addrs, *map));
+  }
+  return tally;
+}
+
+CongestionEstimate estimate_congestion_4d(core::Scheme scheme,
+                                          Pattern4d pattern,
+                                          std::uint32_t width,
+                                          std::uint64_t trials,
+                                          std::uint64_t seed) {
+  std::vector<ChunkAccumulator> chunks(kChunks);
+  util::parallel_for_chunks(
+      trials, kChunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        util::Pcg32 rng(seed ^ (0x34645f5472ull + chunk), chunk);
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::uint64_t map_seed =
+              seed * 0x9e3779b97f4a7c15ull + t + 1;
+          const auto map = core::make_tensor4d_map(scheme, width, map_seed);
+          const auto addrs = warp_addresses_4d(pattern, *map, rng);
+          chunks[chunk].add(core::congestion_value(addrs, *map));
+        }
+      });
+  return reduce(chunks);
+}
+
+}  // namespace rapsim::access

@@ -1,0 +1,47 @@
+#include "core/congestion.hpp"
+
+#include <algorithm>
+
+namespace rapsim::core {
+
+namespace {
+
+/// Sorted, deduplicated copy of `addresses` (CRCW merge).
+std::vector<std::uint64_t> merged(std::span<const std::uint64_t> addresses) {
+  std::vector<std::uint64_t> unique(addresses.begin(), addresses.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return unique;
+}
+
+}  // namespace
+
+CongestionResult congestion_of_physical(
+    std::span<const std::uint64_t> physical, std::uint32_t width) {
+  CongestionResult result;
+  result.per_bank.assign(width, 0);
+  const auto unique = merged(physical);
+  result.unique_requests = static_cast<std::uint32_t>(unique.size());
+  for (const std::uint64_t addr : unique) {
+    const auto bank = static_cast<std::size_t>(addr % width);
+    result.congestion = std::max(result.congestion, ++result.per_bank[bank]);
+  }
+  return result;
+}
+
+CongestionResult congestion_of_logical(std::span<const std::uint64_t> logical,
+                                       const AddressMap& map) {
+  std::vector<std::uint64_t> physical;
+  physical.reserve(logical.size());
+  for (const std::uint64_t addr : logical) {
+    physical.push_back(map.translate(addr));
+  }
+  return congestion_of_physical(physical, map.width());
+}
+
+std::uint32_t congestion_value(std::span<const std::uint64_t> logical,
+                               const AddressMap& map) {
+  return congestion_of_logical(logical, map).congestion;
+}
+
+}  // namespace rapsim::core

@@ -1,0 +1,40 @@
+// Memory-access congestion (the paper's central metric).
+//
+// The congestion of one warp access is the maximum, over banks, of the
+// number of *unique* addresses the warp sends to that bank. Duplicate
+// addresses merge into one request (the DMM is CRCW with arbitrary write
+// resolution), so w threads reading the same cell have congestion 1
+// (Figure 2(3)), while w threads reading w distinct cells of one bank have
+// congestion w (Figure 2(2)).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mapping.hpp"
+
+namespace rapsim::core {
+
+/// Per-bank unique-request counts plus the maximum (the congestion).
+struct CongestionResult {
+  std::uint32_t congestion = 0;          // max over banks
+  std::vector<std::uint32_t> per_bank;   // unique requests per bank
+  std::uint32_t unique_requests = 0;     // after CRCW merging
+};
+
+/// Congestion of a warp issuing `physical` addresses to a memory of
+/// `width` banks. Duplicate addresses are merged first.
+[[nodiscard]] CongestionResult congestion_of_physical(
+    std::span<const std::uint64_t> physical, std::uint32_t width);
+
+/// Congestion of a warp issuing `logical` addresses through `map`.
+[[nodiscard]] CongestionResult congestion_of_logical(
+    std::span<const std::uint64_t> logical, const AddressMap& map);
+
+/// Just the max value (cheaper call for Monte-Carlo inner loops).
+[[nodiscard]] std::uint32_t congestion_value(
+    std::span<const std::uint64_t> logical, const AddressMap& map);
+
+}  // namespace rapsim::core

@@ -1,0 +1,35 @@
+// Seeded factories for address mappings.
+//
+// Monte-Carlo experiments draw thousands of fresh mappings; these helpers
+// centralize "scheme + width + seed -> mapping" so every bench and test
+// constructs them identically (and reproducibly).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/mapping2d.hpp"
+#include "core/mapping4d.hpp"
+
+namespace rapsim::core {
+
+/// 2-D matrix mapping of `rows` x width for scheme kRaw / kRas / kRap.
+[[nodiscard]] std::unique_ptr<MatrixMap> make_matrix_map(Scheme scheme,
+                                                         std::uint32_t width,
+                                                         std::uint64_t rows,
+                                                         std::uint64_t seed);
+
+/// 4-D w^4 tensor mapping for any Scheme (kRaw, kRas and the five RAP
+/// extensions).
+[[nodiscard]] std::unique_ptr<Tensor4dMap> make_tensor4d_map(
+    Scheme scheme, std::uint32_t width, std::uint64_t seed);
+
+/// The 2-D schemes in the order of the paper's Tables I-III.
+[[nodiscard]] const std::vector<Scheme>& table2_schemes();
+
+/// The 4-D schemes in the order of the paper's Table IV columns.
+[[nodiscard]] const std::vector<Scheme>& table4_schemes();
+
+}  // namespace rapsim::core

@@ -1,0 +1,148 @@
+// 2-D (matrix) address mappings: RAW, RAS, RAP.
+//
+// A matrix of `rows` rows and w columns is stored row-major: element (i, j)
+// has logical address i*w + j, so in the RAW implementation it sits in bank
+// (i*w + j) mod w = j mod w. The randomized schemes rotate each row:
+//
+//   RAW:  (i, j) -> i*w + j                      (0 random words)
+//   RAS:  (i, j) -> i*w + (j + r_i) mod w        (rows independent words)
+//   RAP:  (i, j) -> i*w + (j + p_{i mod w}) mod w   (w words, one permutation)
+//
+// RAS draws each r_i independently and uniformly from [0, w); stride
+// (column) access then behaves like balls-in-bins. RAP instead uses a
+// single uniformly random permutation p — the rotations of any w
+// consecutive rows are *distinct*, which is exactly why stride access has
+// congestion 1 (Theorem 2's deterministic part). For matrices taller than
+// w rows, RAP reuses p cyclically (row i shifts by p[i mod w]); every
+// aligned group of w consecutive rows keeps the distinct-shift property.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace rapsim::core {
+
+/// Row-major matrix geometry shared by the 2-D mappings.
+class MatrixMap : public AddressMap {
+ public:
+  MatrixMap(std::uint32_t width, std::uint64_t rows)
+      : AddressMap(width, rows * width), rows_(rows) {}
+
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+
+  /// Logical address of element (i, j).
+  [[nodiscard]] std::uint64_t index(std::uint64_t i,
+                                    std::uint64_t j) const noexcept {
+    return i * width() + j;
+  }
+
+  /// Column rotation applied to row i (0 for RAW).
+  [[nodiscard]] virtual std::uint32_t shift_of_row(
+      std::uint64_t i) const noexcept = 0;
+
+  // Physical address: the row is preserved; only the column rotates. This
+  // single definition makes every subclass a bijection by construction.
+  [[nodiscard]] std::uint64_t translate(std::uint64_t logical) const final {
+    const std::uint64_t i = logical / width();
+    const std::uint64_t j = logical % width();
+    return i * width() + (j + shift_of_row(i)) % width();
+  }
+
+ private:
+  std::uint64_t rows_;
+};
+
+/// RAW: direct addressing (the conventional CUDA layout).
+class RawMap final : public MatrixMap {
+ public:
+  RawMap(std::uint32_t width, std::uint64_t rows) : MatrixMap(width, rows) {}
+
+  [[nodiscard]] std::uint32_t shift_of_row(std::uint64_t) const noexcept override {
+    return 0;
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kRaw; }
+  [[nodiscard]] std::string name() const override { return "RAW"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return 0;
+  }
+};
+
+/// RAS: random address shift — one independent uniform offset per row
+/// (Nakano/Matsumae/Ito, CANDAR 2013). Contiguous access stays
+/// conflict-free; stride access collides like balls-in-bins.
+class RasMap final : public MatrixMap {
+ public:
+  RasMap(std::uint32_t width, std::uint64_t rows, util::Pcg32& rng);
+
+  /// Construct from explicit offsets (tests / worked examples).
+  RasMap(std::uint32_t width, std::vector<std::uint32_t> offsets);
+
+  [[nodiscard]] std::uint32_t shift_of_row(std::uint64_t i) const noexcept override {
+    return offsets_[i];
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kRas; }
+  [[nodiscard]] std::string name() const override { return "RAS"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return offsets_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+};
+
+/// PAD: the deterministic "+1 padding" folklore baseline (declaring
+/// `__shared__ double a[w][w+1]`), modeled bank-exactly as the skewed
+/// layout bank(i, j) = (i + j) mod w — i.e. a row rotation by i mod w.
+/// Contiguous and stride are conflict-free like RAP, with zero random
+/// words, but the skew is PUBLIC and FIXED: an adversary (or an unlucky
+/// access pattern, e.g. anti-diagonals) can put a whole warp in one bank,
+/// and the real layout also burns `rows` words of shared memory. The
+/// ablation bench quantifies this trade against RAP.
+class PadMap final : public MatrixMap {
+ public:
+  PadMap(std::uint32_t width, std::uint64_t rows) : MatrixMap(width, rows) {}
+
+  [[nodiscard]] std::uint32_t shift_of_row(std::uint64_t i) const noexcept override {
+    return static_cast<std::uint32_t>(i % width());
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kPad; }
+  [[nodiscard]] std::string name() const override { return "PAD"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return 0;
+  }
+};
+
+/// RAP: random address permute-shift — this paper's contribution. One
+/// permutation p of {0..w-1}; row i rotates by p[i mod w]. Stride and
+/// contiguous accesses are both conflict-free; arbitrary accesses have
+/// expected congestion O(log w / log log w) (Theorem 2).
+class RapMap final : public MatrixMap {
+ public:
+  RapMap(std::uint32_t width, std::uint64_t rows, util::Pcg32& rng)
+      : MatrixMap(width, rows), perm_(Permutation::random(width, rng)) {}
+
+  /// Construct from an explicit permutation (tests / Figure 6 demo).
+  RapMap(std::uint32_t width, std::uint64_t rows, Permutation perm);
+
+  [[nodiscard]] std::uint32_t shift_of_row(std::uint64_t i) const noexcept override {
+    return perm_[static_cast<std::size_t>(i % width())];
+  }
+  [[nodiscard]] const Permutation& permutation() const noexcept {
+    return perm_;
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kRap; }
+  [[nodiscard]] std::string name() const override { return "RAP"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return width();
+  }
+
+ private:
+  Permutation perm_;
+};
+
+}  // namespace rapsim::core

@@ -1,0 +1,57 @@
+#include "core/mapping4d.hpp"
+
+#include <stdexcept>
+
+namespace rapsim::core {
+
+Ras4dMap::Ras4dMap(std::uint32_t width, util::Pcg32& rng)
+    : Tensor4dMap(width) {
+  const std::uint64_t rows =
+      static_cast<std::uint64_t>(width) * width * width;
+  offsets_.reserve(rows);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    offsets_.push_back(rng.bounded(width));
+  }
+}
+
+OnePermMap::OnePermMap(std::uint32_t width, Permutation p)
+    : Tensor4dMap(width), p_(std::move(p)) {
+  if (p_.size() != width) {
+    throw std::invalid_argument("OnePermMap: permutation size != width");
+  }
+}
+
+RepeatedOnePermMap::RepeatedOnePermMap(std::uint32_t width, Permutation p)
+    : Tensor4dMap(width), p_(std::move(p)) {
+  if (p_.size() != width) {
+    throw std::invalid_argument("RepeatedOnePermMap: permutation size != width");
+  }
+}
+
+ThreePermMap::ThreePermMap(std::uint32_t width, Permutation p, Permutation q,
+                           Permutation s)
+    : Tensor4dMap(width), p_(std::move(p)), q_(std::move(q)), s_(std::move(s)) {
+  if (p_.size() != width || q_.size() != width || s_.size() != width) {
+    throw std::invalid_argument("ThreePermMap: permutation size != width");
+  }
+}
+
+WSquaredPermMap::WSquaredPermMap(std::uint32_t width, util::Pcg32& rng)
+    : Tensor4dMap(width) {
+  const std::size_t planes = static_cast<std::size_t>(width) * width;
+  perms_.reserve(planes);
+  for (std::size_t p = 0; p < planes; ++p) {
+    perms_.push_back(Permutation::random(width, rng));
+  }
+}
+
+OnePermW2RandMap::OnePermW2RandMap(std::uint32_t width, util::Pcg32& rng)
+    : Tensor4dMap(width), p_(Permutation::random(width, rng)) {
+  const std::size_t planes = static_cast<std::size_t>(width) * width;
+  offsets_.reserve(planes);
+  for (std::size_t r = 0; r < planes; ++r) {
+    offsets_.push_back(rng.bounded(width));
+  }
+}
+
+}  // namespace rapsim::core

@@ -1,0 +1,247 @@
+// 4-D address mappings — Section VII of the paper.
+//
+// A 4-D array A of size w x w x w x w stores element (i, j, k, l) at
+// logical address i*w^3 + j*w^2 + k*w + l; under RAW it sits in bank
+// l mod w. Every extension of RAP rotates the innermost coordinate by a
+// shift function f(i, j, k):
+//
+//   (i, j, k, l)  ->  (i, j, k, (l + f(i, j, k)) mod w)
+//
+// with the variants (p, q, s uniform random permutations of {0..w-1};
+// r_* independent uniform words):
+//
+//   RAS       f = r_{i*w^2 + j*w + k}      (w^3 random words)
+//   1P        f = p[k]                     (w words)
+//   R1P       f = p[i] + p[j] + p[k]       (w words)
+//   3P        f = p[i] + q[j] + s[k]       (3w words)
+//   w^2 P     f = sigma_{i*w + j}[k]       (w^3 words: w^2 permutations)
+//   1P+w^2 R  f = r_{i*w + j} + p[k]       (w + w^2 words)
+//
+// Table IV of the paper compares the congestion of these variants under
+// contiguous, three stride directions, random, and malicious access; the
+// R1P variant admits a structured adversary (index-permutation groups with
+// equal f) that the paper uses to argue for 3P as the best extension.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace rapsim::core {
+
+/// 4-D index (i, j, k, l), each coordinate in [0, w).
+struct Index4d {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  std::uint32_t k = 0;
+  std::uint32_t l = 0;
+
+  [[nodiscard]] bool operator==(const Index4d&) const = default;
+};
+
+/// Base for all 4-D mappings: fixes the geometry and expresses
+/// translate() through the shift function, so every subclass is a
+/// bijection by construction (the row i*w^3 + j*w^2 + k*w is preserved;
+/// only l rotates).
+class Tensor4dMap : public AddressMap {
+ public:
+  explicit Tensor4dMap(std::uint32_t width)
+      : AddressMap(width, static_cast<std::uint64_t>(width) * width * width *
+                              width) {}
+
+  /// Shift applied to the innermost coordinate of cell (i, j, k, *).
+  [[nodiscard]] virtual std::uint32_t shift(std::uint32_t i, std::uint32_t j,
+                                            std::uint32_t k) const noexcept = 0;
+
+  [[nodiscard]] std::uint64_t index(const Index4d& c) const noexcept {
+    const std::uint64_t w = width();
+    return ((static_cast<std::uint64_t>(c.i) * w + c.j) * w + c.k) * w + c.l;
+  }
+
+  [[nodiscard]] Index4d decompose(std::uint64_t logical) const noexcept {
+    const std::uint64_t w = width();
+    Index4d c;
+    c.l = static_cast<std::uint32_t>(logical % w);
+    logical /= w;
+    c.k = static_cast<std::uint32_t>(logical % w);
+    logical /= w;
+    c.j = static_cast<std::uint32_t>(logical % w);
+    c.i = static_cast<std::uint32_t>(logical / w);
+    return c;
+  }
+
+  [[nodiscard]] std::uint64_t translate(std::uint64_t logical) const final {
+    const Index4d c = decompose(logical);
+    const std::uint64_t base = logical - c.l;
+    return base + (c.l + shift(c.i, c.j, c.k)) % width();
+  }
+};
+
+/// RAW for 4-D arrays: no rotation.
+class Raw4dMap final : public Tensor4dMap {
+ public:
+  explicit Raw4dMap(std::uint32_t width) : Tensor4dMap(width) {}
+  [[nodiscard]] std::uint32_t shift(std::uint32_t, std::uint32_t,
+                                    std::uint32_t) const noexcept override {
+    return 0;
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kRaw; }
+  [[nodiscard]] std::string name() const override { return "RAW"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return 0;
+  }
+};
+
+/// RAS for 4-D arrays: an independent random offset for each of the w^3
+/// rows (i, j, k).
+class Ras4dMap final : public Tensor4dMap {
+ public:
+  Ras4dMap(std::uint32_t width, util::Pcg32& rng);
+  [[nodiscard]] std::uint32_t shift(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k) const noexcept override {
+    const std::uint64_t w = width();
+    return offsets_[(static_cast<std::uint64_t>(i) * w + j) * w + k];
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kRas; }
+  [[nodiscard]] std::string name() const override { return "RAS"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return offsets_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+};
+
+/// 1P: one permutation, shift depends on k only. Stride over k is
+/// conflict-free, but strides over i or j keep the whole warp in one bank.
+class OnePermMap final : public Tensor4dMap {
+ public:
+  OnePermMap(std::uint32_t width, util::Pcg32& rng)
+      : Tensor4dMap(width), p_(Permutation::random(width, rng)) {}
+  OnePermMap(std::uint32_t width, Permutation p);
+
+  [[nodiscard]] std::uint32_t shift(std::uint32_t, std::uint32_t,
+                                    std::uint32_t k) const noexcept override {
+    return p_[k];
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kRap1P;
+  }
+  [[nodiscard]] std::string name() const override { return "1P"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return width();
+  }
+
+ private:
+  Permutation p_;
+};
+
+/// R1P: repeated one permutation, f = p[i] + p[j] + p[k]. All three stride
+/// directions are conflict-free, but index-permutation groups (i,j,k) vs
+/// (j,i,k) etc. share f deterministically — the paper's malicious input.
+class RepeatedOnePermMap final : public Tensor4dMap {
+ public:
+  RepeatedOnePermMap(std::uint32_t width, util::Pcg32& rng)
+      : Tensor4dMap(width), p_(Permutation::random(width, rng)) {}
+  RepeatedOnePermMap(std::uint32_t width, Permutation p);
+
+  [[nodiscard]] std::uint32_t shift(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k) const noexcept override {
+    return (p_[i] + p_[j] + p_[k]) % width();
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kRapR1P;
+  }
+  [[nodiscard]] std::string name() const override { return "R1P"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return width();
+  }
+
+ private:
+  Permutation p_;
+};
+
+/// 3P: three independent permutations, f = p[i] + q[j] + s[k]. The paper's
+/// recommended extension: all strides conflict-free and no structured
+/// adversary beyond the generic O(log w / log log w) bound.
+class ThreePermMap final : public Tensor4dMap {
+ public:
+  ThreePermMap(std::uint32_t width, util::Pcg32& rng)
+      : Tensor4dMap(width),
+        p_(Permutation::random(width, rng)),
+        q_(Permutation::random(width, rng)),
+        s_(Permutation::random(width, rng)) {}
+  ThreePermMap(std::uint32_t width, Permutation p, Permutation q,
+               Permutation s);
+
+  [[nodiscard]] std::uint32_t shift(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k) const noexcept override {
+    return (p_[i] + q_[j] + s_[k]) % width();
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kRap3P;
+  }
+  [[nodiscard]] std::string name() const override { return "3P"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return 3ull * width();
+  }
+
+ private:
+  Permutation p_, q_, s_;
+};
+
+/// w^2 P: an independent permutation sigma_{i*w+j} per (i, j) plane,
+/// f = sigma_{i*w+j}[k]. Stride over k conflict-free; strides over i/j
+/// behave like balls-in-bins; costs w^3 random words.
+class WSquaredPermMap final : public Tensor4dMap {
+ public:
+  WSquaredPermMap(std::uint32_t width, util::Pcg32& rng);
+
+  [[nodiscard]] std::uint32_t shift(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k) const noexcept override {
+    return perms_[static_cast<std::size_t>(i) * width() + j][k];
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kRapW2P;
+  }
+  [[nodiscard]] std::string name() const override { return "w2P"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return static_cast<std::uint64_t>(width()) * width() * width();
+  }
+
+ private:
+  std::vector<Permutation> perms_;
+};
+
+/// 1P + w^2 R: one permutation over k plus an independent random offset per
+/// (i, j) plane: f = r_{i*w+j} + p[k]. Stride over k conflict-free; i/j
+/// strides balls-in-bins; costs w + w^2 random words.
+class OnePermW2RandMap final : public Tensor4dMap {
+ public:
+  OnePermW2RandMap(std::uint32_t width, util::Pcg32& rng);
+
+  [[nodiscard]] std::uint32_t shift(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k) const noexcept override {
+    return (offsets_[static_cast<std::size_t>(i) * width() + j] + p_[k]) %
+           width();
+  }
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kRap1PW2R;
+  }
+  [[nodiscard]] std::string name() const override { return "1P+w2R"; }
+  [[nodiscard]] std::uint64_t random_words() const noexcept override {
+    return static_cast<std::uint64_t>(width()) +
+           static_cast<std::uint64_t>(width()) * width();
+  }
+
+ private:
+  Permutation p_;
+  std::vector<std::uint32_t> offsets_;
+};
+
+}  // namespace rapsim::core

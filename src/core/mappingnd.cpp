@@ -1,0 +1,84 @@
+#include "core/mappingnd.hpp"
+
+#include <stdexcept>
+
+namespace rapsim::core {
+
+namespace {
+
+std::uint64_t pow_u64(std::uint32_t base, std::uint32_t exp) {
+  std::uint64_t result = 1;
+  for (std::uint32_t e = 0; e < exp; ++e) {
+    if (result > UINT64_MAX / base) {
+      throw std::invalid_argument("NdMap: w^d overflows 64 bits");
+    }
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+NdMap::NdMap(std::uint32_t width, std::uint32_t dims)
+    : AddressMap(width, pow_u64(width, dims)), dims_(dims) {
+  if (dims < 2) throw std::invalid_argument("NdMap: dims must be >= 2");
+}
+
+std::uint64_t NdMap::index(std::span<const std::uint32_t> coords) const {
+  if (coords.size() != dims_) {
+    throw std::invalid_argument("NdMap::index: wrong coordinate count");
+  }
+  std::uint64_t addr = 0;
+  for (const std::uint32_t c : coords) {
+    if (c >= width()) throw std::out_of_range("NdMap::index: coordinate");
+    addr = addr * width() + c;
+  }
+  return addr;
+}
+
+std::vector<std::uint32_t> NdMap::outer_of(std::uint64_t logical) const {
+  std::vector<std::uint32_t> outer(dims_ - 1);
+  logical /= width();  // drop the innermost coordinate
+  for (std::uint32_t k = dims_ - 1; k-- > 0;) {
+    outer[k] = static_cast<std::uint32_t>(logical % width());
+    logical /= width();
+  }
+  return outer;
+}
+
+std::uint64_t NdMap::translate(std::uint64_t logical) const {
+  const std::uint64_t inner = logical % width();
+  const std::uint64_t base = logical - inner;
+  const auto outer = outer_of(logical);
+  return base + (inner + shift(outer)) % width();
+}
+
+std::string RawNdMap::name() const {
+  return "RAW-" + std::to_string(dims()) + "d";
+}
+
+MultiPermNdMap::MultiPermNdMap(std::uint32_t width, std::uint32_t dims,
+                               util::Pcg32& rng)
+    : NdMap(width, dims) {
+  perms_.reserve(dims - 1);
+  for (std::uint32_t k = 0; k + 1 < dims; ++k) {
+    perms_.push_back(Permutation::random(width, rng));
+  }
+}
+
+MultiPermNdMap::MultiPermNdMap(std::uint32_t width,
+                               std::vector<Permutation> perms)
+    : NdMap(width, static_cast<std::uint32_t>(perms.size() + 1)),
+      perms_(std::move(perms)) {
+  for (const auto& p : perms_) {
+    if (p.size() != width) {
+      throw std::invalid_argument("MultiPermNdMap: permutation size != width");
+    }
+  }
+}
+
+std::string MultiPermNdMap::name() const {
+  return std::to_string(dims() - 1) + "P-" + std::to_string(dims()) + "d";
+}
+
+}  // namespace rapsim::core

@@ -1,0 +1,115 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rapsim::core {
+
+double chernoff_upper_tail(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  // Work in logs to avoid overflow for large delta:
+  // ln bound = mu * (delta - (1+delta) ln(1+delta)).
+  const double log_bound =
+      mu * (delta - (1.0 + delta) * std::log1p(delta));
+  return std::exp(log_bound);
+}
+
+double lemma4_threshold(std::uint32_t width) {
+  if (width < 3) {
+    throw std::invalid_argument("lemma4_threshold: width must be >= 3");
+  }
+  const double lw = std::log(static_cast<double>(width));
+  return 3.0 * lw / std::log(lw);
+}
+
+double lemma4_tail_bound(std::uint32_t width) {
+  // Lemma 4 proof: mu <= 1, 1 + delta = T(w); bound = e^delta/(1+delta)^(1+delta).
+  const double t = lemma4_threshold(width);
+  return chernoff_upper_tail(1.0, t - 1.0);
+}
+
+double theorem2_expectation_bound(std::uint32_t width) {
+  // E[C_half] <= T(w) + P[exceed] * (w/2) <= T(w) + (1/w)(w/2) = T(w) + 1/2;
+  // full warp <= sum of both half-warps.
+  return 2.0 * (lemma4_threshold(width) + 0.5);
+}
+
+double expected_max_load_mc(std::uint32_t balls, std::uint32_t bins,
+                            std::uint32_t trials, std::uint64_t seed) {
+  if (bins == 0 || trials == 0) return 0.0;
+  util::Pcg32 rng(seed, /*stream=*/0x6d61786c6f6164ull);
+  std::vector<std::uint32_t> load(bins);
+  double sum = 0.0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    std::fill(load.begin(), load.end(), 0u);
+    std::uint32_t max_load = 0;
+    for (std::uint32_t b = 0; b < balls; ++b) {
+      max_load = std::max(max_load, ++load[rng.bounded(bins)]);
+    }
+    sum += max_load;
+  }
+  return sum / trials;
+}
+
+double gonnet_expected_max_load(std::uint32_t n) {
+  if (n < 2) return n;
+  // Invert the gamma function: find x with lgamma(x) = ln(n) by bisection
+  // (lgamma is strictly increasing for x >= 2).
+  const double target = std::log(static_cast<double>(n));
+  double lo = 2.0, hi = 2.0;
+  while (std::lgamma(hi) < target) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (std::lgamma(mid) < target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi) - 1.5;
+}
+
+double expected_max_load_exact(std::uint32_t balls, std::uint32_t bins) {
+  if (balls == 0 || bins == 0) return 0.0;
+  if (balls > 16 || bins > 16) {
+    throw std::invalid_argument(
+        "expected_max_load_exact: supported only for balls, bins <= 16");
+  }
+  // Binomial coefficients C(n, k) for n <= 16.
+  double binom[17][17] = {};
+  for (int n = 0; n <= 16; ++n) {
+    binom[n][0] = 1.0;
+    for (int k = 1; k <= n; ++k) {
+      binom[n][k] = binom[n - 1][k - 1] + (k <= n - 1 ? binom[n - 1][k] : 0.0);
+    }
+  }
+
+  // ways_capped(m): number of ball->bin assignments with every bin load
+  // <= m, by DP over bins: f[n] after processing t bins = #ways to place
+  // the first (balls - n) balls... we track remaining balls n.
+  const auto ways_capped = [&](std::uint32_t m) -> double {
+    std::vector<double> f(balls + 1, 0.0);
+    f[balls] = 1.0;  // all balls still unplaced, 0 bins processed
+    for (std::uint32_t bin = 0; bin < bins; ++bin) {
+      std::vector<double> g(balls + 1, 0.0);
+      for (std::uint32_t rem = 0; rem <= balls; ++rem) {
+        if (f[rem] == 0.0) continue;
+        const std::uint32_t top = std::min(m, rem);
+        for (std::uint32_t c = 0; c <= top; ++c) {
+          g[rem - c] += f[rem] * binom[rem][c];
+        }
+      }
+      f = std::move(g);
+    }
+    return f[0];
+  };
+
+  const double total = std::pow(static_cast<double>(bins), balls);
+  // E[max] = sum_{m >= 1} P[max >= m] = sum_m (1 - P[max <= m-1]).
+  double expectation = 0.0;
+  for (std::uint32_t m = 1; m <= balls; ++m) {
+    const double p_le = ways_capped(m - 1) / total;
+    expectation += 1.0 - p_le;
+  }
+  return expectation;
+}
+
+}  // namespace rapsim::core

@@ -1,0 +1,38 @@
+// Machine parameters of the Discrete Memory Machine.
+//
+// The DMM (and UMM) have three parameters: the number p of threads, the
+// width w (memory banks = threads per warp), and the memory access latency
+// l. Width and latency are machine properties (this struct); the thread
+// count belongs to the kernel being run.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace rapsim::dmm {
+
+/// Which memory machine to simulate. The two models differ only in how
+/// many pipeline slots a warp-instruction occupies:
+///   * DMM — separate address lines per bank: one slot carries at most one
+///     request per bank, so slots = max per-bank unique requests (the
+///     congestion).
+///   * UMM — a single broadcast address line: one slot carries one memory
+///     *row* (the w words {r*w .. r*w+w-1}), so slots = number of distinct
+///     rows touched.
+enum class MachineKind { kDmm, kUmm };
+
+struct DmmConfig {
+  std::uint32_t width = 32;   // banks per memory, threads per warp (w)
+  std::uint32_t latency = 1;  // pipeline latency in time units (l)
+  MachineKind kind = MachineKind::kDmm;
+
+  void validate() const {
+    if (width == 0) throw std::invalid_argument("DmmConfig: width must be > 0");
+    if (latency == 0) {
+      throw std::invalid_argument("DmmConfig: latency must be > 0");
+    }
+  }
+};
+
+}  // namespace rapsim::dmm

@@ -1,0 +1,110 @@
+// SIMD kernel representation executed by the DMM / UMM machines.
+//
+// A kernel is a straight-line sequence of SIMD instructions over p
+// threads. Threads are partitioned into p/w warps of w consecutive thread
+// ids (the paper's W(0), W(1), ...); all threads of a warp execute the
+// same instruction in lockstep. Each thread has a small register file
+// (kRegistersPerThread accumulators), enough to express the paper's
+// workloads (transpose = load + dependent store) and the example
+// applications (reduction, bitonic sort, tiled matrix multiply):
+//
+//   memory ops (occupy MMU pipeline slots, subject to bank conflicts):
+//     kLoad       — reg[r] <- mem[logical]
+//     kLoadAdd    — reg[r] += mem[logical]           (reduction)
+//     kLoadMulAdd — reg[r] += reg[r2] * mem[logical] (matmul accumulate)
+//     kStore      — mem[logical] <- reg[r]
+//     kStoreImm   — mem[logical] <- immediate        (initialization)
+//     kAtomicAdd  — mem[logical] += reg[r], read-modify-write. Unlike
+//                   plain loads/stores, atomics to the SAME address do
+//                   NOT merge: each one needs its own bank cycle, so a
+//                   warp of w atomics on one address has congestion w
+//                   (the shared-memory atomic serialization of real GPUs)
+//
+//   register ops (free: no memory traffic, no pipeline slots — arithmetic
+//   is orders of magnitude cheaper than a shared-memory access):
+//     kMinMax     — (reg[r], reg[r2]) <- (min, max) of the pair
+//                   (bitonic compare-exchange)
+//
+//   kNone         — thread idles for this instruction
+//
+//   kBarrier      — block-wide synchronization (__syncthreads()): no warp
+//                   proceeds past it until every warp has completed all
+//                   earlier instructions. Required whenever one warp reads
+//                   data another warp wrote (reduction trees, sorting
+//                   networks). Emit with Kernel::push_barrier().
+//
+// SIMD restriction (Section II of the paper): within one warp-instruction
+// all active ops must be of one class — all reads, all writes, or all
+// register ops.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rapsim::dmm {
+
+inline constexpr std::uint32_t kRegistersPerThread = 4;
+
+enum class OpKind : std::uint8_t {
+  kNone,
+  kLoad,
+  kLoadAdd,
+  kLoadMulAdd,
+  kStore,
+  kStoreImm,
+  kAtomicAdd,
+  kMinMax,
+  kBarrier,
+};
+
+/// One thread's slot of one SIMD instruction.
+struct ThreadOp {
+  OpKind kind = OpKind::kNone;
+  std::uint64_t logical = 0;    // logical address (pre-mapping)
+  std::uint64_t immediate = 0;  // used by kStoreImm
+  std::uint8_t reg = 0;         // primary register
+  std::uint8_t reg2 = 1;        // secondary register (kLoadMulAdd, kMinMax)
+
+  static ThreadOp none() { return {}; }
+  static ThreadOp load(std::uint64_t logical, std::uint8_t reg = 0) {
+    return {OpKind::kLoad, logical, 0, reg, 1};
+  }
+  static ThreadOp load_add(std::uint64_t logical, std::uint8_t reg = 0) {
+    return {OpKind::kLoadAdd, logical, 0, reg, 1};
+  }
+  static ThreadOp load_mul_add(std::uint64_t logical, std::uint8_t acc,
+                               std::uint8_t factor) {
+    return {OpKind::kLoadMulAdd, logical, 0, acc, factor};
+  }
+  static ThreadOp store(std::uint64_t logical, std::uint8_t reg = 0) {
+    return {OpKind::kStore, logical, 0, reg, 1};
+  }
+  static ThreadOp store_imm(std::uint64_t logical, std::uint64_t value) {
+    return {OpKind::kStoreImm, logical, value, 0, 1};
+  }
+  static ThreadOp atomic_add(std::uint64_t logical, std::uint8_t reg = 0) {
+    return {OpKind::kAtomicAdd, logical, 0, reg, 1};
+  }
+  static ThreadOp min_max(std::uint8_t reg_min, std::uint8_t reg_max) {
+    return {OpKind::kMinMax, 0, 0, reg_min, reg_max};
+  }
+  static ThreadOp barrier() { return {OpKind::kBarrier, 0, 0, 0, 1}; }
+};
+
+/// One SIMD instruction: a ThreadOp per thread (indexed by thread id).
+using Instruction = std::vector<ThreadOp>;
+
+/// A straight-line SIMD program.
+struct Kernel {
+  std::uint32_t num_threads = 0;
+  std::vector<Instruction> instructions;
+
+  /// Append an instruction; it must have exactly num_threads slots.
+  void push(Instruction instr);
+
+  /// Append a block-wide barrier (__syncthreads()).
+  void push_barrier();
+};
+
+}  // namespace rapsim::dmm

@@ -1,0 +1,358 @@
+#include "dmm/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rapsim::dmm {
+
+void Kernel::push(Instruction instr) {
+  if (instr.size() != num_threads) {
+    throw std::invalid_argument(
+        "Kernel::push: instruction must have one ThreadOp per thread");
+  }
+  instructions.push_back(std::move(instr));
+}
+
+void Kernel::push_barrier() {
+  instructions.emplace_back(num_threads, ThreadOp::barrier());
+}
+
+Dmm::Dmm(DmmConfig config, const core::AddressMap& map)
+    : config_(config), map_(map), memory_(map.size(), 0) {
+  config_.validate();
+  if (config_.width != map.width()) {
+    throw std::invalid_argument("Dmm: config width must match map width");
+  }
+}
+
+std::uint64_t Dmm::load(std::uint64_t logical) const {
+  return memory_.at(map_.translate(logical));
+}
+
+void Dmm::store(std::uint64_t logical, std::uint64_t value) {
+  memory_.at(map_.translate(logical)) = value;
+}
+
+void Dmm::fill_identity() {
+  for (std::uint64_t a = 0; a < memory_.size(); ++a) {
+    memory_[map_.translate(a)] = a;
+  }
+}
+
+namespace {
+
+bool is_write(OpKind kind) {
+  return kind == OpKind::kStore || kind == OpKind::kStoreImm;
+}
+
+bool is_read(OpKind kind) {
+  return kind == OpKind::kLoad || kind == OpKind::kLoadAdd ||
+         kind == OpKind::kLoadMulAdd;
+}
+
+}  // namespace
+
+Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
+                                         std::uint32_t warp_begin,
+                                         std::uint32_t warp_end) {
+  WarpAccess result;
+
+  // SIMD check: a warp executes one instruction, so active ops must be of
+  // one class — all reads, all writes, or all register ops (Section II:
+  // "if one of them sends a memory read request, none of the others can
+  // send memory write request").
+  bool saw_read = false;
+  bool saw_write = false;
+  bool saw_atomic = false;
+  bool saw_register = false;
+  for (std::uint32_t t = warp_begin; t < warp_end; ++t) {
+    const ThreadOp& op = instr[t];
+    if (op.kind == OpKind::kNone) continue;
+    if (op.kind == OpKind::kBarrier) {
+      throw std::logic_error(
+          "Dmm: barrier instruction reached the access path (scheduler bug)");
+    }
+    if (op.kind == OpKind::kAtomicAdd) {
+      saw_atomic = true;
+    } else if (is_write(op.kind)) {
+      saw_write = true;
+    } else if (is_read(op.kind)) {
+      saw_read = true;
+    } else {
+      saw_register = true;
+    }
+    if (op.reg >= kRegistersPerThread || op.reg2 >= kRegistersPerThread) {
+      throw std::out_of_range("Dmm: register index out of range");
+    }
+    ++result.active_threads;
+  }
+  if (saw_read + saw_write + saw_atomic + saw_register > 1) {
+    throw std::invalid_argument(
+        "Dmm: a warp cannot mix reads, writes, atomics and register ops in "
+        "one SIMD instruction");
+  }
+  if (result.active_threads == 0) return result;
+
+  if (saw_atomic) {
+    // Atomics: every request needs its own bank cycle — same-address
+    // requests serialize instead of merging. The adds themselves commute,
+    // so the data effect is order-independent.
+    std::vector<std::uint32_t> per_bank(config_.width, 0);
+    std::uint64_t rows_touched = 0;
+    std::uint64_t prev_row = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t t = warp_begin; t < warp_end; ++t) {
+      const ThreadOp& op = instr[t];
+      if (op.kind == OpKind::kNone) continue;
+      const std::uint64_t phys = map_.translate(op.logical);
+      if (phys >= memory_.size()) {
+        throw std::out_of_range("Dmm: access beyond memory size");
+      }
+      memory_[phys] += registers_[static_cast<std::size_t>(t) *
+                                      kRegistersPerThread +
+                                  op.reg];
+      ++result.unique_requests;
+      if (config_.kind == MachineKind::kDmm) {
+        const auto bank = static_cast<std::size_t>(phys % config_.width);
+        result.congestion = std::max(result.congestion, ++per_bank[bank]);
+      } else {
+        const std::uint64_t row = phys / config_.width;
+        if (row != prev_row) {
+          ++rows_touched;
+          prev_row = row;
+        }
+      }
+    }
+    if (config_.kind == MachineKind::kUmm) {
+      // Conservative UMM accounting: serial atomics over the rows in
+      // issue order (no row sorting — atomics are not broadcastable).
+      result.congestion = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(rows_touched, result.active_threads));
+    }
+    return result;
+  }
+
+  if (saw_register) {
+    // Register-only instruction: executes without touching the memory
+    // pipeline (congestion stays 0; arithmetic is free in this model).
+    for (std::uint32_t t = warp_begin; t < warp_end; ++t) {
+      const ThreadOp& op = instr[t];
+      if (op.kind != OpKind::kMinMax) continue;
+      auto& lo = registers_[static_cast<std::size_t>(t) *
+                                kRegistersPerThread + op.reg];
+      auto& hi = registers_[static_cast<std::size_t>(t) *
+                                kRegistersPerThread + op.reg2];
+      if (lo > hi) std::swap(lo, hi);
+    }
+    return result;
+  }
+
+  // Translate, merge duplicates (CRCW), count per-bank unique requests.
+  // The map preserves bank counts only through translate(); we group by
+  // physical address.
+  std::unordered_map<std::uint64_t, std::uint32_t> first_writer;
+  std::vector<std::uint64_t> unique_addrs;
+  unique_addrs.reserve(warp_end - warp_begin);
+  for (std::uint32_t t = warp_begin; t < warp_end; ++t) {
+    const ThreadOp& op = instr[t];
+    if (op.kind == OpKind::kNone) continue;
+    const std::uint64_t phys = map_.translate(op.logical);
+    if (phys >= memory_.size()) {
+      throw std::out_of_range("Dmm: access beyond memory size");
+    }
+    const auto [it, inserted] = first_writer.emplace(phys, t);
+    if (inserted) unique_addrs.push_back(phys);
+
+    auto& reg =
+        registers_[static_cast<std::size_t>(t) * kRegistersPerThread + op.reg];
+    switch (op.kind) {
+      case OpKind::kLoad:
+        reg = memory_[phys];
+        break;
+      case OpKind::kLoadAdd:
+        reg += memory_[phys];
+        break;
+      case OpKind::kLoadMulAdd:
+        reg += registers_[static_cast<std::size_t>(t) * kRegistersPerThread +
+                          op.reg2] *
+               memory_[phys];
+        break;
+      case OpKind::kStore:
+      case OpKind::kStoreImm:
+        if (inserted) {
+          // CRCW arbitrary write: the first (lowest-id) thread wins;
+          // later writes to the same merged address are ignored.
+          memory_[phys] =
+              op.kind == OpKind::kStoreImm ? op.immediate : reg;
+        }
+        break;
+      case OpKind::kNone:
+      case OpKind::kMinMax:
+      case OpKind::kBarrier:
+      case OpKind::kAtomicAdd:
+        break;  // unreachable: filtered above / handled by the scheduler
+    }
+  }
+
+  result.unique_requests = static_cast<std::uint32_t>(unique_addrs.size());
+  if (config_.kind == MachineKind::kDmm) {
+    // DMM: one pipeline slot carries at most one request per bank.
+    std::vector<std::uint32_t> per_bank(config_.width, 0);
+    for (const std::uint64_t addr : unique_addrs) {
+      const auto bank = static_cast<std::size_t>(addr % config_.width);
+      result.congestion = std::max(result.congestion, ++per_bank[bank]);
+    }
+  } else {
+    // UMM: one pipeline slot broadcasts one memory row to all banks.
+    std::sort(unique_addrs.begin(), unique_addrs.end());
+    std::uint64_t prev_row = std::numeric_limits<std::uint64_t>::max();
+    for (const std::uint64_t addr : unique_addrs) {
+      const std::uint64_t row = addr / config_.width;
+      if (row != prev_row) {
+        ++result.congestion;
+        prev_row = row;
+      }
+    }
+  }
+  return result;
+}
+
+RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
+  if (kernel.num_threads == 0) return {};
+  registers_.assign(
+      static_cast<std::size_t>(kernel.num_threads) * kRegistersPerThread, 0);
+  if (trace) trace->clear();
+
+  const std::uint32_t w = config_.width;
+  const std::uint32_t num_warps = (kernel.num_threads + w - 1) / w;
+  const std::size_t num_instr = kernel.instructions.size();
+
+  const auto warp_has_active = [&](std::uint32_t warp, std::size_t instr_idx) {
+    const Instruction& instr = kernel.instructions[instr_idx];
+    const std::uint32_t begin = warp * w;
+    const std::uint32_t end = std::min(begin + w, kernel.num_threads);
+    for (std::uint32_t t = begin; t < end; ++t) {
+      if (instr[t].kind != OpKind::kNone) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::size_t> next_instr(num_warps, 0);
+  std::vector<std::uint64_t> ready(num_warps, 0);  // earliest issue slot
+
+  // Skip leading instructions in which a warp has nothing to do (no cost:
+  // warps with no pending memory request are not dispatched).
+  const auto advance_idle = [&](std::uint32_t warp) {
+    while (next_instr[warp] < num_instr &&
+           !warp_has_active(warp, next_instr[warp])) {
+      ++next_instr[warp];
+    }
+  };
+  for (std::uint32_t warp = 0; warp < num_warps; ++warp) advance_idle(warp);
+
+  RunStats stats;
+  std::uint64_t pipeline_next = 0;  // next free MMU pipeline slot
+  std::uint64_t last_completion = 0;
+  double congestion_sum = 0.0;
+  std::uint32_t rr = 0;  // round-robin pointer
+
+  const auto at_barrier = [&](std::uint32_t warp) {
+    return next_instr[warp] < num_instr &&
+           kernel.instructions[next_instr[warp]][warp * w].kind ==
+               OpKind::kBarrier;
+  };
+
+  for (;;) {
+    // Find the next dispatchable warp in round-robin order. Warps parked
+    // at a barrier are not dispatchable; they release together once every
+    // other warp has arrived (i.e. no pending warp is before the barrier).
+    std::uint32_t chosen = num_warps;
+    std::uint64_t min_ready = std::numeric_limits<std::uint64_t>::max();
+    bool any_pending = false;
+    bool any_non_barrier = false;
+    for (std::uint32_t k = 0; k < num_warps; ++k) {
+      const std::uint32_t warp = (rr + k) % num_warps;
+      if (next_instr[warp] >= num_instr) continue;
+      any_pending = true;
+      if (at_barrier(warp)) continue;
+      any_non_barrier = true;
+      min_ready = std::min(min_ready, ready[warp]);
+      if (ready[warp] <= pipeline_next && chosen == num_warps) {
+        chosen = warp;
+      }
+    }
+    if (!any_pending) break;
+    if (chosen == num_warps) {
+      if (any_non_barrier) {
+        // All runnable warps are still waiting on outstanding requests;
+        // the pipeline idles until the first becomes ready.
+        pipeline_next = min_ready;
+        continue;
+      }
+      // Every pending warp is parked at a barrier: release the earliest
+      // barrier group once all outstanding requests have drained.
+      std::size_t barrier_instr = num_instr;
+      for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
+        if (next_instr[warp] < num_instr) {
+          barrier_instr = std::min(barrier_instr, next_instr[warp]);
+        }
+      }
+      std::uint64_t release = 0;
+      for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
+        release = std::max(release, ready[warp]);
+      }
+      for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
+        if (next_instr[warp] == barrier_instr) {
+          ready[warp] = release;
+          ++next_instr[warp];
+          advance_idle(warp);
+        }
+      }
+      continue;
+    }
+
+    const std::uint32_t begin = chosen * w;
+    const std::uint32_t end = std::min(begin + w, kernel.num_threads);
+    const WarpAccess access =
+        perform_warp_access(kernel.instructions[next_instr[chosen]], begin, end);
+
+    if (access.congestion == 0) {
+      // Register-only instruction: executed above, no pipeline traffic and
+      // no completion to wait for.
+      ++next_instr[chosen];
+      advance_idle(chosen);
+      rr = (chosen + 1) % num_warps;
+      continue;
+    }
+
+    const std::uint64_t start = pipeline_next;
+    const std::uint32_t stages = access.congestion;  // >= 1 when active
+    const std::uint64_t completion = start + stages + config_.latency - 1;
+
+    if (trace) {
+      trace->dispatches.push_back(
+          {chosen, static_cast<std::uint32_t>(next_instr[chosen]), start,
+           stages, completion, access.active_threads, access.unique_requests});
+    }
+    stats.total_stages += stages;
+    stats.max_congestion = std::max(stats.max_congestion, stages);
+    congestion_sum += stages;
+    ++stats.dispatches;
+    last_completion = std::max(last_completion, completion);
+
+    pipeline_next = start + stages;
+    ready[chosen] = completion + 1;
+    ++next_instr[chosen];
+    advance_idle(chosen);
+    rr = (chosen + 1) % num_warps;
+  }
+
+  stats.time = last_completion;
+  stats.avg_congestion =
+      stats.dispatches ? congestion_sum / static_cast<double>(stats.dispatches)
+                       : 0.0;
+  return stats;
+}
+
+}  // namespace rapsim::dmm

@@ -1,0 +1,102 @@
+// The Discrete Memory Machine simulator.
+//
+// Faithful executable model of Section II of the paper:
+//
+//   * The memory is a single address space interleaved over w banks
+//     (word a lives in bank a mod w of the *physical* layout; logical
+//     addresses pass through an AddressMap first — RAW/RAS/RAP/...).
+//   * p threads are partitioned into p/w warps of w consecutive ids.
+//   * Warps are dispatched for memory access in round-robin order; a warp
+//     with no pending request is skipped.
+//   * A dispatched warp-instruction occupies `congestion` consecutive
+//     pipeline slots — one slot can carry at most one request per bank, so
+//     the per-bank unique-request maximum is exactly the number of slots
+//     needed (requests to the same address merge: CRCW, arbitrary write).
+//   * A request entering the pipeline at slot t completes at time unit
+//     t + l; a warp-instruction whose slots are [s, s+c-1] therefore
+//     completes at s + c + l - 1, and its threads may issue their next
+//     request from time s + c + l on.
+//
+// Data semantics: a warp-instruction's data movement executes atomically
+// at dispatch time, in dispatch order. Within one warp, duplicate
+// addresses merge and the lowest thread id wins a write race (CRCW
+// arbitrary, made deterministic). Across warps, ordering between
+// instructions is scheduler-defined unless separated by a barrier —
+// matching real hardware, where inter-warp races without __syncthreads()
+// are undefined. tests/differential_test.cpp pins these semantics against
+// an in-order reference interpreter.
+//
+// With these semantics the paper's closed forms fall out exactly:
+// contiguous access by p threads finishes at p/w + l - 1 and stride access
+// at p + l - 1 (Section III), and Figure 3's example (two warps, 3 slots,
+// l = 5) finishes at 3 + 5 - 1 = 7.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "dmm/config.hpp"
+#include "dmm/kernel.hpp"
+#include "dmm/trace.hpp"
+
+namespace rapsim::dmm {
+
+/// Aggregate results of one kernel execution.
+struct RunStats {
+  std::uint64_t time = 0;              // completion time of the last request
+  std::uint64_t total_stages = 0;      // pipeline slots consumed
+  std::uint64_t dispatches = 0;        // warp-instructions dispatched
+  std::uint32_t max_congestion = 0;    // worst warp-instruction
+  double avg_congestion = 0.0;         // mean over dispatches
+};
+
+/// The DMM: banked memory + MMU pipeline + warp scheduler. The machine
+/// owns the physical memory contents; logical addresses are translated by
+/// the AddressMap given at construction (which also fixes memory size and
+/// width).
+class Dmm {
+ public:
+  /// The map must outlive the machine. config.width must equal map.width().
+  Dmm(DmmConfig config, const core::AddressMap& map);
+
+  // --- Host-side (untimed) memory access, used to set up inputs and
+  // --- verify outputs. Addresses are logical.
+  [[nodiscard]] std::uint64_t load(std::uint64_t logical) const;
+  void store(std::uint64_t logical, std::uint64_t value);
+  /// Fill address a with value a for a in [0, size) — the standard test
+  /// pattern used by the transpose verifiers.
+  void fill_identity();
+
+  /// Execute a kernel to completion. If `trace` is non-null it receives
+  /// one DispatchRecord per dispatched warp-instruction.
+  RunStats run(const Kernel& kernel, Trace* trace = nullptr);
+
+  [[nodiscard]] const DmmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const core::AddressMap& map() const noexcept { return map_; }
+  [[nodiscard]] std::uint64_t memory_size() const noexcept {
+    return memory_.size();
+  }
+
+ private:
+  DmmConfig config_;
+  const core::AddressMap& map_;
+  std::vector<std::uint64_t> memory_;     // physical layout
+  std::vector<std::uint64_t> registers_;  // one accumulator per thread
+
+  /// Execute the data movement of one warp-instruction and return its
+  /// congestion (pipeline slots) and unique-request count.
+  struct WarpAccess {
+    std::uint32_t congestion = 0;
+    std::uint32_t unique_requests = 0;
+    std::uint32_t active_threads = 0;
+  };
+  WarpAccess perform_warp_access(const Instruction& instr,
+                                 std::uint32_t warp_begin,
+                                 std::uint32_t warp_end);
+};
+
+}  // namespace rapsim::dmm

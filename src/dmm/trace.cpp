@@ -1,0 +1,31 @@
+#include "dmm/trace.hpp"
+
+#include <sstream>
+
+namespace rapsim::dmm {
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "warp,instruction,start,stages,completion,active_threads,"
+         "unique_requests\n";
+  for (const auto& d : dispatches) {
+    out << d.warp << ',' << d.instruction << ',' << d.start << ','
+        << d.stages << ',' << d.completion << ',' << d.active_threads << ','
+        << d.unique_requests << '\n';
+  }
+  return out.str();
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream out;
+  for (const auto& d : dispatches) {
+    out << "warp " << d.warp << " instr " << d.instruction << ": stages ["
+        << d.start << ", " << d.start + d.stages - 1 << "] congestion "
+        << d.stages << " completes at t=" << d.completion << " ("
+        << d.unique_requests << " unique requests, " << d.active_threads
+        << " active threads)\n";
+  }
+  return out.str();
+}
+
+}  // namespace rapsim::dmm

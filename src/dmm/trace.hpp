@@ -1,0 +1,41 @@
+// Execution trace of a DMM/UMM run.
+//
+// Records one entry per dispatched warp-instruction: when it entered the
+// MMU pipeline, how many stages it occupied (its congestion), and when it
+// completed. The Figure 3 bench replays the paper's worked example from
+// such a trace, and the transpose runner derives per-phase congestion
+// statistics from it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rapsim::dmm {
+
+struct DispatchRecord {
+  std::uint32_t warp = 0;         // warp id
+  std::uint32_t instruction = 0;  // index into Kernel::instructions
+  std::uint64_t start = 0;        // first pipeline slot occupied
+  std::uint32_t stages = 0;       // slots occupied == congestion
+  std::uint64_t completion = 0;   // time unit at which all requests finish
+  std::uint32_t active_threads = 0;
+  std::uint32_t unique_requests = 0;  // after CRCW merging
+};
+
+struct Trace {
+  std::vector<DispatchRecord> dispatches;
+
+  void clear() { dispatches.clear(); }
+
+  /// Multi-line human-readable rendering (one dispatch per line).
+  [[nodiscard]] std::string to_string() const;
+
+  /// CSV rendering with a header row (warp, instruction, start, stages,
+  /// completion, active_threads, unique_requests) — for offline analysis
+  /// of a kernel's bank-conflict timeline.
+  [[nodiscard]] std::string to_csv() const;
+};
+
+}  // namespace rapsim::dmm

@@ -1,0 +1,27 @@
+// Convenience constructors for the Unified Memory Machine.
+//
+// The UMM shares the DMM's warp scheduler and pipeline; only the slot
+// accounting differs (see MachineKind in config.hpp). These helpers exist
+// so call sites read `make_umm(...)` instead of fiddling with the kind
+// field — the comparison benches run the same kernel on both machines.
+
+#pragma once
+
+#include "dmm/machine.hpp"
+
+namespace rapsim::dmm {
+
+[[nodiscard]] inline DmmConfig umm_config(std::uint32_t width,
+                                          std::uint32_t latency) {
+  return DmmConfig{width, latency, MachineKind::kUmm};
+}
+
+[[nodiscard]] inline DmmConfig dmm_config(std::uint32_t width,
+                                          std::uint32_t latency) {
+  return DmmConfig{width, latency, MachineKind::kDmm};
+}
+
+/// A UMM is the same machine with broadcast-row slot accounting.
+using Umm = Dmm;
+
+}  // namespace rapsim::dmm

@@ -1,0 +1,37 @@
+#include "gpu/grid.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace rapsim::gpu {
+
+GridSchedule schedule_blocks(std::span<const std::uint64_t> block_costs,
+                             const GridConfig& config) {
+  if (config.num_sms == 0) {
+    throw std::invalid_argument("schedule_blocks: need at least one SM");
+  }
+  GridSchedule schedule;
+  schedule.sm_busy.assign(config.num_sms, 0);
+  schedule.block_sm.reserve(block_costs.size());
+
+  // Min-heap of (free_time, sm); lowest id wins ties via the pair order.
+  using Slot = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (std::uint32_t sm = 0; sm < config.num_sms; ++sm) {
+    free_at.emplace(0, sm);
+  }
+
+  for (const std::uint64_t cost : block_costs) {
+    auto [when, sm] = free_at.top();
+    free_at.pop();
+    const std::uint64_t finish = when + cost + config.block_overhead;
+    schedule.sm_busy[sm] += cost + config.block_overhead;
+    schedule.block_sm.push_back(sm);
+    schedule.makespan = std::max(schedule.makespan, finish);
+    free_at.emplace(finish, sm);
+  }
+  return schedule;
+}
+
+}  // namespace rapsim::gpu

@@ -1,0 +1,39 @@
+// Multi-SM grid execution model.
+//
+// CUDA launches a grid of independent thread blocks; a GPU with S
+// streaming multiprocessors executes them S at a time, each SM picking
+// the next queued block as soon as it finishes its current one (FIFO
+// list scheduling). The paper's experiments are single-SM (one 32x32
+// tile), but its motivating workloads (Section I) tile a large problem
+// into many such blocks — this model turns per-block costs measured on
+// the DMM/HMM into a whole-GPU makespan, so the tiled benches can report
+// grid-level scaling. GeForce GTX TITAN, the paper's card, has 14 SMXs.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rapsim::gpu {
+
+struct GridConfig {
+  std::uint32_t num_sms = 14;          // GTX TITAN: 14 SMX units
+  std::uint64_t block_overhead = 0;    // fixed cost added to every block
+};
+
+struct GridSchedule {
+  std::uint64_t makespan = 0;           // completion time of the last block
+  std::vector<std::uint64_t> sm_busy;   // total busy time per SM
+  std::vector<std::uint32_t> block_sm;  // SM each block ran on
+};
+
+/// FIFO list scheduling of `block_costs` over config.num_sms identical
+/// SMs: block i is assigned, in index order, to the SM that becomes free
+/// earliest (ties to the lowest SM id). This is the classic Graham list
+/// schedule: makespan <= (1 + 1/S) * optimum, and is how hardware block
+/// dispatchers behave to first order.
+[[nodiscard]] GridSchedule schedule_blocks(
+    std::span<const std::uint64_t> block_costs, const GridConfig& config);
+
+}  // namespace rapsim::gpu

@@ -1,0 +1,34 @@
+#include "gpu/register_pack.hpp"
+
+#include <stdexcept>
+
+namespace rapsim::gpu {
+
+std::uint32_t bits_for_width(std::uint32_t width) noexcept {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < width) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+PackedShifts::PackedShifts(std::span<const std::uint32_t> values,
+                           std::uint32_t width)
+    : bits_(bits_for_width(width)),
+      mask_((bits_ >= 32) ? 0xffffffffu : ((1u << bits_) - 1)),
+      values_per_word_(32 / bits_),
+      count_(static_cast<std::uint32_t>(values.size())) {
+  if (bits_ > 16) {
+    throw std::invalid_argument("PackedShifts: width too large (bits > 16)");
+  }
+  const std::uint32_t num_words =
+      (count_ + values_per_word_ - 1) / values_per_word_;
+  words_.assign(num_words, 0);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    if (values[i] >= width) {
+      throw std::invalid_argument("PackedShifts: value out of range");
+    }
+    words_[i / values_per_word_] |=
+        values[i] << (bits_ * (i % values_per_word_));
+  }
+}
+
+}  // namespace rapsim::gpu

@@ -1,0 +1,55 @@
+// Packed storage of the RAP random numbers in local registers (Figure 7).
+//
+// On the GPU, the RAP implementation keeps the w random shift values
+// (5 bits each for w = 32) packed in ceil(w / floor(32/5)) = 6 local
+// 32-bit registers; shift i is recovered as
+//
+//     (r[i / 6] >> (5 * (i % 6))) & 0x1f
+//
+// matching the paper's CUDA snippet. This module implements the packing
+// generically (any width that is a power of two up to 2^16) so the RAP
+// address computation the timing model charges for is the real one, and
+// the micro benchmark can measure its cost on the host.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rapsim::gpu {
+
+/// Bits needed to store values in [0, width): ceil(log2(width)).
+[[nodiscard]] std::uint32_t bits_for_width(std::uint32_t width) noexcept;
+
+/// Pack `values` (each < width) into 32-bit words, floor(32/bits) values
+/// per word, little-end first — the layout of Figure 7.
+class PackedShifts {
+ public:
+  PackedShifts(std::span<const std::uint32_t> values, std::uint32_t width);
+
+  /// Recover value i: (words[i / vpw] >> (bits * (i % vpw))) & mask.
+  [[nodiscard]] std::uint32_t get(std::uint32_t i) const noexcept {
+    return (words_[i / values_per_word_] >>
+            (bits_ * (i % values_per_word_))) &
+           mask_;
+  }
+
+  [[nodiscard]] std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t values_per_word() const noexcept {
+    return values_per_word_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::uint32_t size() const noexcept { return count_; }
+
+ private:
+  std::uint32_t bits_;
+  std::uint32_t mask_;
+  std::uint32_t values_per_word_;
+  std::uint32_t count_;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace rapsim::gpu

@@ -1,0 +1,52 @@
+#include "gpu/sm_model.hpp"
+
+#include <stdexcept>
+
+namespace rapsim::gpu {
+
+SmTimingParams SmTimingParams::calibrate(std::uint64_t stages_a, double ns_a,
+                                         std::uint64_t stages_b,
+                                         double ns_b) {
+  if (stages_a == stages_b) {
+    throw std::invalid_argument(
+        "SmTimingParams::calibrate: anchors need distinct stage counts");
+  }
+  SmTimingParams params;
+  params.stage_ns = (ns_a - ns_b) / (static_cast<double>(stages_a) -
+                                     static_cast<double>(stages_b));
+  params.launch_ns = ns_a - static_cast<double>(stages_a) * params.stage_ns;
+  if (params.stage_ns <= 0.0 || params.launch_ns < 0.0) {
+    throw std::invalid_argument(
+        "SmTimingParams::calibrate: anchors imply non-physical constants");
+  }
+  return params;
+}
+
+double SmTimingParams::addr_overhead_ns(core::Scheme scheme) const noexcept {
+  switch (scheme) {
+    case core::Scheme::kRaw:
+      return addr_raw_ns;
+    case core::Scheme::kRas:
+      return addr_ras_ns;
+    default:
+      // All RAP variants share the register-packed shift computation.
+      return addr_rap_ns;
+  }
+}
+
+double estimate_kernel_time_ns(const dmm::Trace& trace, core::Scheme scheme,
+                               const SmTimingParams& params) {
+  std::uint64_t total_stages = 0;
+  for (const auto& d : trace.dispatches) total_stages += d.stages;
+  return estimate_time_ns(total_stages, trace.dispatches.size(), scheme,
+                          params);
+}
+
+double estimate_time_ns(std::uint64_t total_stages, std::uint64_t dispatches,
+                        core::Scheme scheme, const SmTimingParams& params) {
+  return params.launch_ns +
+         static_cast<double>(total_stages) * params.stage_ns +
+         static_cast<double>(dispatches) * params.addr_overhead_ns(scheme);
+}
+
+}  // namespace rapsim::gpu

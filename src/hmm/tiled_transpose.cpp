@@ -1,0 +1,123 @@
+#include "hmm/tiled_transpose.hpp"
+
+#include <memory>
+
+#include "core/factory.hpp"
+
+namespace rapsim::hmm {
+
+const char* strategy_name(TransposeStrategy strategy) noexcept {
+  switch (strategy) {
+    case TransposeStrategy::kNaive: return "naive";
+    case TransposeStrategy::kTiled: return "tiled";
+    case TransposeStrategy::kTiledDiagonal: return "tiled+diag";
+  }
+  return "?";
+}
+
+namespace {
+
+struct GlobalLayout {
+  std::uint64_t n;  // matrix edge
+  [[nodiscard]] std::uint64_t a(std::uint64_t i, std::uint64_t j) const {
+    return i * n + j;
+  }
+  [[nodiscard]] std::uint64_t b(std::uint64_t i, std::uint64_t j) const {
+    return n * n + i * n + j;
+  }
+};
+
+}  // namespace
+
+TiledTransposeReport run_tiled_transpose(TransposeStrategy strategy,
+                                         core::Scheme scheme,
+                                         const TiledTransposeConfig& config,
+                                         std::uint64_t seed) {
+  const std::uint32_t w = config.width;
+  const GlobalLayout g{config.n()};
+  const std::uint32_t threads = w * w;
+
+  // One w x w shared tile, reused for every tile step.
+  const auto shared_map = core::make_matrix_map(scheme, w, w, seed);
+  Hmm machine(HmmConfig{w, config.shared_latency, config.global_latency},
+              *shared_map, 2 * g.n * g.n);
+
+  // Distinguishable input: A[i][j] = i * N + j + 1.
+  for (std::uint64_t i = 0; i < g.n; ++i) {
+    for (std::uint64_t j = 0; j < g.n; ++j) {
+      machine.global_store(g.a(i, j), i * g.n + j + 1);
+    }
+  }
+
+  for (std::uint32_t ti = 0; ti < config.tiles; ++ti) {
+    for (std::uint32_t tj = 0; tj < config.tiles; ++tj) {
+      const std::uint64_t row0 = static_cast<std::uint64_t>(ti) * w;
+      const std::uint64_t col0 = static_cast<std::uint64_t>(tj) * w;
+
+      switch (strategy) {
+        case TransposeStrategy::kNaive: {
+          // B[col0+j][row0+i] <- A[row0+i][col0+j]: coalesced read, fully
+          // uncoalesced write.
+          CopyPhase phase(threads);
+          for (std::uint32_t i = 0; i < w; ++i) {
+            for (std::uint32_t j = 0; j < w; ++j) {
+              phase[i * w + j] =
+                  CopyOp{g.a(row0 + i, col0 + j), g.b(col0 + j, row0 + i)};
+            }
+          }
+          machine.copy_global(phase, threads);
+          break;
+        }
+        case TransposeStrategy::kTiled: {
+          // Stage through shared: load rows, store columns (the shared
+          // column read is where RAW pays w-way bank conflicts).
+          CopyPhase in(threads), out(threads);
+          for (std::uint32_t i = 0; i < w; ++i) {
+            for (std::uint32_t j = 0; j < w; ++j) {
+              in[i * w + j] = CopyOp{g.a(row0 + i, col0 + j),
+                                     shared_map->index(i, j)};
+              out[i * w + j] = CopyOp{g.b(col0 + i, row0 + j),
+                                      shared_map->index(j, i)};
+            }
+          }
+          machine.copy_in(in, threads);
+          machine.copy_out(out, threads);
+          break;
+        }
+        case TransposeStrategy::kTiledDiagonal: {
+          // The expert fix: skew the shared column so both phases are
+          // conflict-free under RAW (DRDW's trick applied to tiling).
+          CopyPhase in(threads), out(threads);
+          for (std::uint32_t i = 0; i < w; ++i) {
+            for (std::uint32_t j = 0; j < w; ++j) {
+              const std::uint32_t c = (i + j) % w;
+              in[i * w + j] = CopyOp{g.a(row0 + i, col0 + j),
+                                     shared_map->index(i, c)};
+              out[i * w + j] = CopyOp{g.b(col0 + i, row0 + j),
+                                      shared_map->index(j, c)};
+            }
+          }
+          machine.copy_in(in, threads);
+          machine.copy_out(out, threads);
+          break;
+        }
+      }
+    }
+  }
+
+  TiledTransposeReport report;
+  report.stats = machine.stats();
+  report.global_cost_weight = config.global_cost_weight;
+  report.correct = true;
+  for (std::uint64_t i = 0; i < g.n && report.correct; ++i) {
+    for (std::uint64_t j = 0; j < g.n; ++j) {
+      if (machine.global_load(g.b(i, j)) != j * g.n + i + 1) {
+        report.correct = false;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rapsim::hmm

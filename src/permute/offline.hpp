@@ -1,0 +1,83 @@
+// Offline permutation on the DMM — the workload the paper positions RAP
+// against (Section I; refs [8], [13] of the paper).
+//
+// Task: move a[i] -> b[pi(i)] for a fixed permutation pi of n = rows * w
+// elements, both arrays in the banked shared memory. Two strategies:
+//
+//   * DIRECT: thread i reads a[i] (contiguous, congestion 1) and writes
+//     b[pi(i)]. Under RAW the write congestion is whatever pi induces (up
+//     to w); under RAP it drops to the generic O(log w / log log w) with
+//     no analysis — the paper's pitch.
+//
+//   * CONFLICT-FREE (the "complicated graph coloring technique" of the
+//     paper's ref [6][8]): model the movement as a bipartite multigraph
+//     with the w source banks on the left, the w destination banks on the
+//     right, and one edge per element. Every bank holds exactly n/w
+//     elements, so the graph is (n/w)-regular; by König's theorem it has
+//     a proper edge coloring with n/w colors, and each color class is a
+//     perfect matching — a set of w elements touching every source bank
+//     once and every destination bank once. Executing one color class per
+//     warp-instruction makes BOTH the read and the write congestion
+//     exactly 1 under RAW.
+//
+// The coloring is computed with the classical alternating-path algorithm
+// (Kempe-chain flips), O(E * V): for each edge pick a color free at both
+// endpoints, else flip an alternating path to make one.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/permutation.hpp"
+#include "dmm/kernel.hpp"
+
+namespace rapsim::permute {
+
+/// Where the source and destination arrays live inside the DMM memory:
+/// a occupies logical addresses [0, n), b occupies [n, 2n).
+struct PermutationLayout {
+  std::uint32_t width = 32;
+  std::uint64_t rows = 32;  // per array; n = rows * width
+
+  [[nodiscard]] std::uint64_t elements() const noexcept {
+    return rows * width;
+  }
+  [[nodiscard]] std::uint64_t a_addr(std::uint64_t i) const noexcept {
+    return i;
+  }
+  [[nodiscard]] std::uint64_t b_addr(std::uint64_t i) const noexcept {
+    return elements() + i;
+  }
+  /// Rows the backing MatrixMap must have (a and b stacked).
+  [[nodiscard]] std::uint64_t total_rows() const noexcept { return 2 * rows; }
+};
+
+/// Direct kernel: element i is handled by thread i (read a[i], write
+/// b[pi(i)]), n/w warps, two instructions.
+[[nodiscard]] dmm::Kernel build_direct_kernel(const core::Permutation& pi,
+                                              const PermutationLayout& layout);
+
+/// Proper edge coloring of the permutation's bank-transfer multigraph.
+/// color[i] in [0, n/w) for element i; within one color, source banks
+/// (i mod w under RAW) and destination banks (pi(i) mod w) are all
+/// distinct.
+[[nodiscard]] std::vector<std::uint32_t> color_conflict_free(
+    const core::Permutation& pi, const PermutationLayout& layout);
+
+/// Scheduled kernel: elements are reassigned to threads so that each warp
+/// executes one color class; under RAW both phases are conflict-free.
+[[nodiscard]] dmm::Kernel build_scheduled_kernel(
+    const core::Permutation& pi, const PermutationLayout& layout);
+
+/// Well-known hard permutations for the benches. All are permutations of
+/// n = rows * width elements.
+[[nodiscard]] core::Permutation transpose_permutation(std::uint32_t width);
+[[nodiscard]] core::Permutation bit_reversal_permutation(std::uint32_t n);
+/// pi(i) = (i * stride) mod n, gcd(stride, n) = 1 — the strided gather
+/// that maximizes RAW bank conflicts when stride is a multiple of w + ...
+[[nodiscard]] core::Permutation stride_permutation(std::uint32_t n,
+                                                   std::uint32_t stride);
+
+}  // namespace rapsim::permute

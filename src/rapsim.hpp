@@ -1,0 +1,45 @@
+// Umbrella header: the whole rapsim public API in one include.
+//
+//   #include "rapsim.hpp"            // with -I<repo>/src
+//
+// Downstream users who want finer-grained includes can pull individual
+// module headers (core/mapping2d.hpp, dmm/machine.hpp, ...) — this header
+// exists for quick starts and examples.
+
+#pragma once
+
+#include "access/adversary.hpp"
+#include "access/advisor.hpp"
+#include "access/montecarlo.hpp"
+#include "access/pattern2d.hpp"
+#include "access/pattern4d.hpp"
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+#include "core/mapping.hpp"
+#include "core/mapping2d.hpp"
+#include "core/mapping4d.hpp"
+#include "core/mappingnd.hpp"
+#include "core/permutation.hpp"
+#include "core/theory.hpp"
+#include "dmm/config.hpp"
+#include "dmm/kernel.hpp"
+#include "dmm/machine.hpp"
+#include "dmm/trace.hpp"
+#include "dmm/umm.hpp"
+#include "gpu/grid.hpp"
+#include "gpu/register_pack.hpp"
+#include "gpu/sm_model.hpp"
+#include "hmm/hmm.hpp"
+#include "hmm/tiled_transpose.hpp"
+#include "permute/offline.hpp"
+#include "transpose/algorithms.hpp"
+#include "transpose/runner.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/bitonic.hpp"
+#include "workloads/histogram.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/reduction.hpp"

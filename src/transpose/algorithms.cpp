@@ -1,0 +1,49 @@
+#include "transpose/algorithms.hpp"
+
+namespace rapsim::transpose {
+
+const char* algorithm_name(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kCrsw: return "CRSW";
+    case Algorithm::kSrcw: return "SRCW";
+    case Algorithm::kDrdw: return "DRDW";
+  }
+  return "?";
+}
+
+dmm::Kernel build_kernel(Algorithm algorithm, const MatrixPair& layout) {
+  const std::uint32_t w = layout.width;
+  dmm::Kernel kernel;
+  kernel.num_threads = w * w;
+
+  dmm::Instruction reads(kernel.num_threads);
+  dmm::Instruction writes(kernel.num_threads);
+
+  for (std::uint32_t i = 0; i < w; ++i) {
+    for (std::uint32_t j = 0; j < w; ++j) {
+      const std::uint32_t t = i * w + j;
+      switch (algorithm) {
+        case Algorithm::kCrsw:
+          reads[t] = dmm::ThreadOp::load(layout.a_index(i, j));
+          writes[t] = dmm::ThreadOp::store(layout.b_index(j, i));
+          break;
+        case Algorithm::kSrcw:
+          reads[t] = dmm::ThreadOp::load(layout.a_index(j, i));
+          writes[t] = dmm::ThreadOp::store(layout.b_index(i, j));
+          break;
+        case Algorithm::kDrdw: {
+          const std::uint32_t c = (i + j) % w;
+          reads[t] = dmm::ThreadOp::load(layout.a_index(j, c));
+          writes[t] = dmm::ThreadOp::store(layout.b_index(c, j));
+          break;
+        }
+      }
+    }
+  }
+
+  kernel.push(std::move(reads));
+  kernel.push(std::move(writes));
+  return kernel;
+}
+
+}  // namespace rapsim::transpose

@@ -1,0 +1,77 @@
+#include "transpose/runner.hpp"
+
+#include <algorithm>
+
+#include "core/factory.hpp"
+#include "dmm/trace.hpp"
+
+namespace rapsim::transpose {
+
+namespace {
+
+/// Distinguishable A[i][j] value: no two cells share it, and 0 (the
+/// initial memory fill) never appears, so a dropped store is detectable.
+std::uint64_t cell_value(std::uint32_t w, std::uint64_t i, std::uint64_t j) {
+  return i * w + j + 1;
+}
+
+PhaseCongestion phase_congestion(const dmm::Trace& trace,
+                                 std::uint32_t instruction) {
+  PhaseCongestion phase;
+  std::uint64_t dispatches = 0;
+  double sum = 0.0;
+  for (const auto& d : trace.dispatches) {
+    if (d.instruction != instruction) continue;
+    ++dispatches;
+    sum += d.stages;
+    phase.max = std::max(phase.max, d.stages);
+  }
+  if (dispatches) phase.avg = sum / static_cast<double>(dispatches);
+  return phase;
+}
+
+}  // namespace
+
+TransposeReport run_transpose_on(Algorithm algorithm, dmm::Dmm& machine,
+                                 const MatrixPair& layout, dmm::Trace* trace) {
+  const std::uint32_t w = layout.width;
+
+  for (std::uint32_t i = 0; i < w; ++i) {
+    for (std::uint32_t j = 0; j < w; ++j) {
+      machine.store(layout.a_index(i, j), cell_value(w, i, j));
+      machine.store(layout.b_index(i, j), 0);
+    }
+  }
+
+  dmm::Trace local_trace;
+  dmm::Trace* t = trace ? trace : &local_trace;
+
+  TransposeReport report;
+  report.stats = machine.run(build_kernel(algorithm, layout), t);
+  report.read = phase_congestion(*t, 0);
+  report.write = phase_congestion(*t, 1);
+
+  report.correct = true;
+  for (std::uint32_t i = 0; i < w && report.correct; ++i) {
+    for (std::uint32_t j = 0; j < w; ++j) {
+      if (machine.load(layout.b_index(i, j)) != cell_value(w, j, i)) {
+        report.correct = false;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+TransposeReport run_transpose(Algorithm algorithm, core::Scheme scheme,
+                              std::uint32_t width, std::uint32_t latency,
+                              std::uint64_t seed) {
+  const MatrixPair layout{width};
+  const auto map =
+      core::make_matrix_map(scheme, width, layout.rows(), seed);
+  dmm::Dmm machine(dmm::DmmConfig{width, latency, dmm::MachineKind::kDmm},
+                   *map);
+  return run_transpose_on(algorithm, machine, layout);
+}
+
+}  // namespace rapsim::transpose

@@ -1,0 +1,48 @@
+// Transpose execution + verification on the DMM.
+//
+// run_transpose() stands up a DMM over the requested mapping scheme, fills
+// A with a distinguishable pattern, executes the algorithm's kernel, checks
+// B == A^T element-by-element, and splits the trace into read-phase and
+// write-phase congestion statistics (the two "congestion" columns of the
+// paper's Table III).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/mapping.hpp"
+#include "dmm/machine.hpp"
+#include "transpose/algorithms.hpp"
+
+namespace rapsim::transpose {
+
+struct PhaseCongestion {
+  double avg = 0.0;
+  std::uint32_t max = 0;
+};
+
+struct TransposeReport {
+  bool correct = false;           // B == A^T after the run
+  PhaseCongestion read;           // congestion of the load instruction
+  PhaseCongestion write;          // congestion of the store instruction
+  dmm::RunStats stats;            // machine-level timing
+};
+
+/// Run `algorithm` for a width x width matrix under `scheme` with the
+/// mapping drawn from `seed`. `latency` is the DMM pipeline latency l.
+[[nodiscard]] TransposeReport run_transpose(Algorithm algorithm,
+                                            core::Scheme scheme,
+                                            std::uint32_t width,
+                                            std::uint32_t latency,
+                                            std::uint64_t seed);
+
+/// Same, against a caller-provided machine + layout (the machine's map
+/// must span layout.rows() x width). Used by tests that need to inspect
+/// memory afterwards.
+[[nodiscard]] TransposeReport run_transpose_on(Algorithm algorithm,
+                                               dmm::Dmm& machine,
+                                               const MatrixPair& layout,
+                                               dmm::Trace* trace = nullptr);
+
+}  // namespace rapsim::transpose

@@ -1,0 +1,54 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms.
+// Unknown flags are collected so binaries can reject typos, and every bench
+// binary shares the same conventions (--seed, --trials, --width, ...).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace rapsim::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Value of --name, if present (boolean flags yield "true").
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Comma-separated list flag, e.g. --widths=16,32,64.
+  [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
+      const std::string& name, std::vector<std::uint64_t> fallback) const;
+
+  /// Shared --format flag of the bench binaries: "ascii" (default),
+  /// "markdown" or "csv". Unknown values fall back to ascii.
+  [[nodiscard]] TableStyle get_table_style() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rapsim::util

@@ -1,0 +1,60 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rapsim::util {
+
+std::size_t worker_count() {
+  if (const char* env = std::getenv("RAPSIM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw ? hw : 1, 1, 16);
+}
+
+void parallel_for_chunks(
+    std::size_t total, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (total == 0 || chunks == 0) return;
+  chunks = std::min(chunks, total);
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto run_worker = [&] {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= chunks) return;
+      const std::size_t begin = total * c / chunks;
+      const std::size_t end = total * (c + 1) / chunks;
+      try {
+        fn(c, begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(worker_count(), chunks);
+  if (workers <= 1) {
+    run_worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(run_worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rapsim::util

@@ -1,0 +1,31 @@
+// Small parallel-for used by the Monte-Carlo drivers.
+//
+// Table II/IV cells average congestion over 10^4-10^6 independent random
+// draws per (scheme, pattern, width) cell; trials are embarrassingly
+// parallel. parallel_for_chunks splits an index range into one contiguous
+// chunk per worker and hands each worker its chunk id, so callers can seed
+// one independent RNG stream per chunk (reproducible regardless of the
+// number of hardware threads: the chunk count, not the thread count, is
+// part of the deterministic contract).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace rapsim::util {
+
+/// Number of workers used by parallel_for_chunks (hardware concurrency,
+/// clamped to [1, 16]; override with RAPSIM_THREADS env var).
+[[nodiscard]] std::size_t worker_count();
+
+/// Invoke fn(chunk_index, begin, end) for `chunks` contiguous sub-ranges of
+/// [0, total). Chunks run concurrently on worker_count() threads; the
+/// function blocks until all complete. Exceptions from workers are
+/// rethrown on the caller thread (first one wins).
+void parallel_for_chunks(
+    std::size_t total, std::size_t chunks,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& fn);
+
+}  // namespace rapsim::util

@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rapsim::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::sem() const noexcept {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double OnlineStats::ci95() const noexcept { return 1.96 * sem(); }
+
+void Tally::add(std::uint64_t value) noexcept {
+  ++n_;
+  ++hist_[value];
+}
+
+double Tally::mean() const noexcept {
+  if (n_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, cnt] : hist_) {
+    sum += static_cast<double>(value) * static_cast<double>(cnt);
+  }
+  return sum / static_cast<double>(n_);
+}
+
+std::uint64_t Tally::min() const noexcept {
+  return hist_.empty() ? 0 : hist_.begin()->first;
+}
+
+std::uint64_t Tally::max() const noexcept {
+  return hist_.empty() ? 0 : hist_.rbegin()->first;
+}
+
+double Tally::tail_at_least(std::uint64_t threshold) const noexcept {
+  if (n_ == 0) return 0.0;
+  std::size_t above = 0;
+  for (auto it = hist_.lower_bound(threshold); it != hist_.end(); ++it) {
+    above += it->second;
+  }
+  return static_cast<double>(above) / static_cast<double>(n_);
+}
+
+std::size_t Tally::occurrences(std::uint64_t value) const noexcept {
+  const auto it = hist_.find(value);
+  return it == hist_.end() ? 0 : it->second;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace rapsim::util

@@ -1,0 +1,77 @@
+// Online statistics for Monte-Carlo experiments.
+//
+// Every congestion number in the paper's Table II / Table IV is an average
+// over random draws; the benchmark harness needs running mean, variance and
+// a confidence interval without storing samples. Welford's algorithm gives
+// numerically stable single-pass moments; Tally gives exact integer
+// histograms for the small discrete congestion values (1..w).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rapsim::util {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact integer histogram for discrete observables such as congestion
+/// (values are small: 1..w). Also reports mean and exceedance tails, which
+/// the Theorem 2 validation bench uses to compare against the Chernoff
+/// tail bound.
+class Tally {
+ public:
+  void add(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  /// P[X >= threshold] over the recorded samples.
+  [[nodiscard]] double tail_at_least(std::uint64_t threshold) const noexcept;
+  /// Occurrences of an exact value.
+  [[nodiscard]] std::size_t occurrences(std::uint64_t value) const noexcept;
+  [[nodiscard]] const std::map<std::uint64_t, std::size_t>& histogram()
+      const noexcept {
+    return hist_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::map<std::uint64_t, std::size_t> hist_;
+};
+
+/// Format `mean` to `digits` decimals ("3.53"-style, matching the paper's
+/// tables).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace rapsim::util

@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace rapsim::util {
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(const char* cell) { return add(std::string(cell)); }
+
+TextTable& TextTable::add(double value, int digits) {
+  return add(format_fixed(value, digits));
+}
+
+TextTable& TextTable::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TextTable::render(TableStyle style) const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+
+  const auto pad = [&](const std::string& s, std::size_t w) {
+    std::string padded = s;
+    padded.resize(w, ' ');
+    return padded;
+  };
+
+  const auto emit_separator = [&] {
+    out << '+';
+    for (const auto w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    switch (style) {
+      case TableStyle::kCsv: {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+          if (c) out << ',';
+          if (c < row.size()) out << row[c];
+        }
+        out << '\n';
+        break;
+      }
+      case TableStyle::kMarkdown: {
+        out << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+          out << ' ' << pad(c < row.size() ? row[c] : "", widths[c]) << " |";
+        }
+        out << '\n';
+        if (r == 0) {
+          out << '|';
+          for (const auto w : widths) out << std::string(w + 2, '-') << '|';
+          out << '\n';
+        }
+        break;
+      }
+      case TableStyle::kAscii: {
+        if (r == 0) emit_separator();
+        out << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+          out << ' ' << pad(c < row.size() ? row[c] : "", widths[c]) << " |";
+        }
+        out << '\n';
+        if (r == 0 || r + 1 == rows_.size()) emit_separator();
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os, TableStyle style) const {
+  os << render(style);
+}
+
+}  // namespace rapsim::util

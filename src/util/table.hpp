@@ -1,0 +1,47 @@
+// Plain-text table renderer for the benchmark harness.
+//
+// The paper reports everything as tables (Tables I-IV); the bench binaries
+// re-print them in the same row/column layout so paper-vs-measured can be
+// compared side by side. TextTable renders to aligned ASCII, GitHub
+// Markdown, or CSV.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rapsim::util {
+
+enum class TableStyle { kAscii, kMarkdown, kCsv };
+
+/// Column-aligned text table. Rows are appended cell-by-cell; all rows are
+/// padded to the widest row on render. The first added row is treated as
+/// the header.
+class TextTable {
+ public:
+  /// Begin a new row; subsequent add() calls fill it.
+  TextTable& row();
+
+  /// Append one cell to the current row.
+  TextTable& add(std::string cell);
+  TextTable& add(const char* cell);
+  TextTable& add(double value, int digits);
+  TextTable& add(std::uint64_t value);
+  TextTable& add(int value);
+
+  /// Render the whole table in the requested style.
+  [[nodiscard]] std::string render(TableStyle style = TableStyle::kAscii) const;
+
+  /// Convenience: render and stream.
+  void print(std::ostream& os, TableStyle style = TableStyle::kAscii) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rapsim::util

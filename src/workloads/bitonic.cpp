@@ -1,0 +1,78 @@
+#include "workloads/bitonic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/factory.hpp"
+#include "util/rng.hpp"
+
+namespace rapsim::workloads {
+
+dmm::Kernel build_bitonic_kernel(std::uint64_t n, std::uint32_t width) {
+  if (n < 2 || (n & (n - 1)) != 0 || n % (2ull * width) != 0) {
+    throw std::invalid_argument(
+        "build_bitonic_kernel: n must be a power of two multiple of 2w");
+  }
+  dmm::Kernel kernel;
+  kernel.num_threads = static_cast<std::uint32_t>(n / 2);
+
+  for (std::uint64_t k = 2; k <= n; k *= 2) {
+    for (std::uint64_t j = k / 2; j >= 1; j /= 2) {
+      dmm::Instruction load_lo(kernel.num_threads),
+          load_hi(kernel.num_threads), cmp(kernel.num_threads),
+          store_lo(kernel.num_threads), store_hi(kernel.num_threads);
+      for (std::uint64_t t = 0; t < n / 2; ++t) {
+        // Spread the n/2 pairs over the threads: insert a zero bit at
+        // position log2(j) so i has bit j clear and i|j is the partner.
+        const std::uint64_t i = ((t & ~(j - 1)) << 1) | (t & (j - 1));
+        const std::uint64_t partner = i | j;
+        const bool ascending = (i & k) == 0;
+        load_lo[t] = dmm::ThreadOp::load(i, 0);
+        load_hi[t] = dmm::ThreadOp::load(partner, 1);
+        cmp[t] = dmm::ThreadOp::min_max(0, 1);  // r0 = min, r1 = max
+        const std::uint64_t min_dst = ascending ? i : partner;
+        const std::uint64_t max_dst = ascending ? partner : i;
+        store_lo[t] = dmm::ThreadOp::store(min_dst, 0);
+        store_hi[t] = dmm::ThreadOp::store(max_dst, 1);
+      }
+      kernel.push(std::move(load_lo));
+      kernel.push(std::move(load_hi));
+      kernel.push(std::move(cmp));
+      kernel.push(std::move(store_lo));
+      kernel.push(std::move(store_hi));
+      // The next round's pairs cross warp boundaries: synchronize, as the
+      // CUDA bitonic kernel does with __syncthreads().
+      kernel.push_barrier();
+    }
+  }
+  return kernel;
+}
+
+BitonicReport run_bitonic_sort(core::Scheme scheme, std::uint64_t n,
+                               std::uint32_t width, std::uint32_t latency,
+                               std::uint64_t seed) {
+  const std::uint64_t rows = n / width;
+  const auto map = core::make_matrix_map(scheme, width, rows, seed);
+  dmm::Dmm machine(dmm::DmmConfig{width, latency}, *map);
+
+  util::Pcg32 rng(seed, /*stream=*/0x62746eull);
+  std::vector<std::uint64_t> input(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    input[i] = rng();
+    machine.store(i, input[i]);
+  }
+
+  BitonicReport report;
+  report.stats = machine.run(build_bitonic_kernel(n, width));
+
+  std::vector<std::uint64_t> output(n);
+  for (std::uint64_t i = 0; i < n; ++i) output[i] = machine.load(i);
+  report.sorted = std::is_sorted(output.begin(), output.end());
+  std::sort(input.begin(), input.end());
+  std::vector<std::uint64_t> sorted_output = output;
+  std::sort(sorted_output.begin(), sorted_output.end());
+  report.is_permutation = sorted_output == input;
+  return report;
+}
+
+}  // namespace rapsim::workloads

@@ -1,0 +1,52 @@
+// Bitonic sort in shared memory.
+//
+// Batcher's bitonic network sorts n = 2^k values in k(k+1)/2 rounds of
+// compare-exchanges; round (k, j) pairs element i with i XOR j, and each
+// round reads what other warps wrote in the previous one, so the kernel
+// needs a block-wide barrier per round (__syncthreads() in CUDA,
+// Kernel::push_barrier() here) — this workload is the library's stress
+// test for the barrier and multi-register machinery.
+//
+// Bank behaviour: with one thread per pair (i derived from t by inserting
+// a zero bit at the partner-distance position), each load stream covers a
+// 2x-dilated address range, so RAW congestion never exceeds 2 — bitonic
+// is a *well-behaved* kernel, and the interesting property is that RAP
+// does not break it: the randomized layout keeps both correctness and the
+// ~2 congestion level (the "no harm on good kernels" half of the paper's
+// pitch; reduction and matmul carry the "rescues bad kernels" half).
+//
+// Each compare-exchange is five SIMD instructions (load lo -> r0,
+// load hi -> r1, min/max in registers, store r0, store r1); one thread
+// handles one pair, so n/2 threads run the network.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "dmm/kernel.hpp"
+#include "dmm/machine.hpp"
+
+namespace rapsim::workloads {
+
+/// Build the full bitonic sorting network kernel over x[0 .. n),
+/// n a power of two multiple of 2w, using n/2 threads.
+[[nodiscard]] dmm::Kernel build_bitonic_kernel(std::uint64_t n,
+                                               std::uint32_t width);
+
+struct BitonicReport {
+  bool sorted = false;
+  bool is_permutation = false;  // multiset of values preserved
+  dmm::RunStats stats;
+};
+
+/// Fill x with pseudo-random values from `seed`, sort under `scheme`,
+/// verify order and value preservation.
+[[nodiscard]] BitonicReport run_bitonic_sort(core::Scheme scheme,
+                                             std::uint64_t n,
+                                             std::uint32_t width,
+                                             std::uint32_t latency,
+                                             std::uint64_t seed);
+
+}  // namespace rapsim::workloads

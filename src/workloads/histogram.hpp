@@ -1,0 +1,54 @@
+// Histogram with privatized per-thread bins — the classic shared-memory
+// atomics workload, and the library's demonstration that RAP survives an
+// op class (atomics) whose same-address requests cannot merge.
+//
+// Each of the w threads of a warp owns a private sub-histogram of
+// `bins` counters (subhist[t][b] at logical address t*bins + b) and
+// processes `items_per_thread` input values with one atomic increment
+// per item; a final pass reduces the sub-histograms into row 0.
+//
+// The trap: with `bins` a multiple of w, thread t's counter for bin b
+// sits at address t*bins + b — bank (b mod w) under RAW, *independent of
+// t*. On uniform data that is balls-in-bins, but on skewed data (many
+// threads seeing the same value, the common real-world case) the whole
+// warp lands atomically in ONE bank: distinct addresses, no merging,
+// congestion w. Privatization was supposed to remove contention and its
+// own layout sabotages it. Under RAP, the w sub-histogram rows carry
+// distinct rotations, so even fully-skewed input spreads over the banks.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "dmm/machine.hpp"
+
+namespace rapsim::workloads {
+
+struct HistogramConfig {
+  std::uint32_t width = 32;             // threads = w (one warp) per pass
+  std::uint32_t bins = 64;              // per-thread private bins
+  std::uint32_t items_per_thread = 32;  // values each thread consumes
+};
+
+struct HistogramReport {
+  bool correct = false;                  // final counts match a host count
+  std::vector<std::uint64_t> counts;     // the computed histogram
+  dmm::RunStats stats;
+};
+
+/// Skew in [0, 1]: fraction of items that are the single hot value; the
+/// rest are uniform over [0, bins). skew = 0 is uniform data, skew = 1 is
+/// fully degenerate.
+[[nodiscard]] std::vector<std::uint32_t> make_input(
+    const HistogramConfig& config, double skew, std::uint64_t seed);
+
+/// Run the privatized histogram under `scheme` and verify the counts.
+[[nodiscard]] HistogramReport run_histogram(const HistogramConfig& config,
+                                            core::Scheme scheme,
+                                            std::span<const std::uint32_t> input,
+                                            std::uint64_t seed);
+
+}  // namespace rapsim::workloads

@@ -1,0 +1,78 @@
+#include "workloads/reduction.hpp"
+
+#include <stdexcept>
+
+#include "core/factory.hpp"
+
+namespace rapsim::workloads {
+
+const char* reduction_variant_name(ReductionVariant variant) noexcept {
+  switch (variant) {
+    case ReductionVariant::kInterleaved: return "interleaved";
+    case ReductionVariant::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+dmm::Kernel build_reduction_kernel(ReductionVariant variant, std::uint64_t n,
+                                   std::uint32_t width) {
+  if (n < 2 || (n & (n - 1)) != 0 || n % width != 0) {
+    throw std::invalid_argument(
+        "build_reduction_kernel: n must be a power of two multiple of w");
+  }
+  dmm::Kernel kernel;
+  kernel.num_threads = static_cast<std::uint32_t>(n / 2);
+
+  // Each step: active threads load their left operand into r0, add the
+  // right operand (kLoadAdd), then store back — three instructions, so
+  // the SIMD one-class-per-instruction rule holds.
+  for (std::uint64_t active = n / 2; active >= 1; active /= 2) {
+    dmm::Instruction load(kernel.num_threads), add(kernel.num_threads),
+        store(kernel.num_threads);
+    for (std::uint64_t t = 0; t < active; ++t) {
+      std::uint64_t left = 0, right = 0;
+      if (variant == ReductionVariant::kInterleaved) {
+        const std::uint64_t stride = (n / 2) / active;  // 2^s
+        left = t * 2 * stride;
+        right = left + stride;
+      } else {
+        left = t;
+        right = t + active;
+      }
+      load[t] = dmm::ThreadOp::load(left);
+      add[t] = dmm::ThreadOp::load_add(right);
+      store[t] = dmm::ThreadOp::store(left);
+    }
+    kernel.push(std::move(load));
+    kernel.push(std::move(add));
+    kernel.push(std::move(store));
+    // Next step reads partial sums written by other warps: synchronize,
+    // exactly like the __syncthreads() in the CUDA reduction kernels.
+    if (active > 1) kernel.push_barrier();
+  }
+  return kernel;
+}
+
+ReductionReport run_reduction(ReductionVariant variant, core::Scheme scheme,
+                              std::uint64_t n, std::uint32_t width,
+                              std::uint32_t latency, std::uint64_t seed) {
+  const std::uint64_t rows = n / width;
+  const auto map = core::make_matrix_map(scheme, width, rows, seed);
+  dmm::Dmm machine(dmm::DmmConfig{width, latency}, *map);
+
+  // Values i + 1 so the expected sum n(n+1)/2 detects any dropped or
+  // double-counted element.
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    machine.store(i, i + 1);
+    expected += i + 1;
+  }
+
+  ReductionReport report;
+  report.stats = machine.run(build_reduction_kernel(variant, n, width));
+  report.sum = machine.load(0);
+  report.correct = report.sum == expected;
+  return report;
+}
+
+}  // namespace rapsim::workloads

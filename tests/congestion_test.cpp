@@ -1,0 +1,89 @@
+// Unit tests for core/congestion.hpp — including the paper's Figure 2
+// worked examples.
+
+#include "core/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/mapping2d.hpp"
+
+namespace rapsim::core {
+namespace {
+
+// Figure 2 (1): w = 4 threads access 7, 5, 2, 0 — distinct banks 3,1,2,0.
+TEST(Congestion, Figure2Example1_DistinctBanks) {
+  const std::vector<std::uint64_t> addrs = {7, 5, 2, 0};
+  const auto r = congestion_of_physical(addrs, 4);
+  EXPECT_EQ(r.congestion, 1u);
+  EXPECT_EQ(r.unique_requests, 4u);
+}
+
+// Figure 2 (2): all requests to bank 1 (addresses 1, 5, 9, 13).
+TEST(Congestion, Figure2Example2_SameBank) {
+  const std::vector<std::uint64_t> addrs = {1, 5, 9, 13};
+  const auto r = congestion_of_physical(addrs, 4);
+  EXPECT_EQ(r.congestion, 4u);
+  EXPECT_EQ(r.per_bank[1], 4u);
+  EXPECT_EQ(r.per_bank[0], 0u);
+}
+
+// Figure 2 (3): all threads access the same address — merged, congestion 1.
+TEST(Congestion, Figure2Example3_MergedAccess) {
+  const std::vector<std::uint64_t> addrs = {10, 10, 10, 10};
+  const auto r = congestion_of_physical(addrs, 4);
+  EXPECT_EQ(r.congestion, 1u);
+  EXPECT_EQ(r.unique_requests, 1u);
+}
+
+TEST(Congestion, PartialMergeCountsUniquePerBank) {
+  // Bank 0: addresses 0, 0, 4 -> 2 unique; bank 1: 1 -> 1 unique.
+  const std::vector<std::uint64_t> addrs = {0, 0, 4, 1};
+  const auto r = congestion_of_physical(addrs, 4);
+  EXPECT_EQ(r.congestion, 2u);
+  EXPECT_EQ(r.per_bank[0], 2u);
+  EXPECT_EQ(r.per_bank[1], 1u);
+  EXPECT_EQ(r.unique_requests, 3u);
+}
+
+TEST(Congestion, EmptyAccessHasZeroCongestion) {
+  const std::vector<std::uint64_t> addrs;
+  const auto r = congestion_of_physical(addrs, 8);
+  EXPECT_EQ(r.congestion, 0u);
+  EXPECT_EQ(r.unique_requests, 0u);
+}
+
+TEST(Congestion, SingleRequest) {
+  const std::vector<std::uint64_t> addrs = {5};
+  EXPECT_EQ(congestion_of_physical(addrs, 4).congestion, 1u);
+}
+
+TEST(Congestion, WidthOnePutsEverythingInOneBank) {
+  const std::vector<std::uint64_t> addrs = {0, 1, 2, 3};
+  EXPECT_EQ(congestion_of_physical(addrs, 1).congestion, 4u);
+}
+
+TEST(Congestion, LogicalGoesThroughMapping) {
+  // RAW stride on a 4x4 matrix: column 0 -> all in bank 0.
+  RawMap raw(4, 4);
+  std::vector<std::uint64_t> col;
+  for (std::uint64_t i = 0; i < 4; ++i) col.push_back(raw.index(i, 0));
+  EXPECT_EQ(congestion_value(col, raw), 4u);
+
+  // Same logical access through the Figure 6 RAP map: banks become
+  // (0 + p_i) mod 4 = {2, 0, 3, 1} — all distinct.
+  RapMap rap(4, 4, Permutation({2, 0, 3, 1}));
+  EXPECT_EQ(congestion_value(col, rap), 1u);
+}
+
+TEST(Congestion, PerBankSumsToUniqueRequests) {
+  const std::vector<std::uint64_t> addrs = {0, 1, 2, 3, 4, 5, 6, 7, 0, 4};
+  const auto r = congestion_of_physical(addrs, 4);
+  EXPECT_EQ(std::accumulate(r.per_bank.begin(), r.per_bank.end(), 0u),
+            r.unique_requests);
+}
+
+}  // namespace
+}  // namespace rapsim::core

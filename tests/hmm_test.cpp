@@ -1,0 +1,160 @@
+// Tests for the hierarchical memory machine and the tiled transpose.
+
+#include "hmm/tiled_transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/factory.hpp"
+
+namespace rapsim::hmm {
+namespace {
+
+using core::Scheme;
+
+TEST(Hmm, HostRoundTrips) {
+  const auto map = core::make_matrix_map(Scheme::kRap, 8, 8, 1);
+  Hmm machine(HmmConfig{8, 1, 16}, *map, 256);
+  machine.global_store(100, 7);
+  EXPECT_EQ(machine.global_load(100), 7u);
+  machine.shared_store(10, 9);
+  EXPECT_EQ(machine.shared_load(10), 9u);
+}
+
+TEST(Hmm, RejectsWidthMismatch) {
+  const auto map = core::make_matrix_map(Scheme::kRaw, 8, 8, 1);
+  EXPECT_THROW(Hmm(HmmConfig{16, 1, 16}, *map, 256), std::invalid_argument);
+}
+
+TEST(Hmm, CopyInMovesDataAndChargesBothClocks) {
+  const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
+  Hmm machine(HmmConfig{4, 1, 8}, *map, 64);
+  for (std::uint64_t a = 0; a < 16; ++a) machine.global_store(a, a + 50);
+
+  CopyPhase phase(4);
+  for (std::uint32_t t = 0; t < 4; ++t) phase[t] = CopyOp{t, t};
+  machine.copy_in(phase, 4);
+
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(machine.shared_load(a), a + 50);
+  }
+  EXPECT_GT(machine.stats().global_time, 0u);
+  EXPECT_GT(machine.stats().shared_time, 0u);
+  // Coalesced: 4 consecutive addresses = one global row = 1 slot.
+  EXPECT_EQ(machine.stats().global_slots, 1u);
+  EXPECT_EQ(machine.stats().shared_slots, 1u);
+}
+
+TEST(Hmm, UncoalescedReadCostsOneSlotPerRow) {
+  const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
+  Hmm machine(HmmConfig{4, 1, 8}, *map, 64);
+  CopyPhase phase(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    phase[t] = CopyOp{static_cast<std::uint64_t>(t) * 16, t};  // 4 rows
+  }
+  machine.copy_in(phase, 4);
+  EXPECT_EQ(machine.stats().global_slots, 4u);
+}
+
+TEST(Hmm, InactiveThreadsAreSkipped) {
+  const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
+  Hmm machine(HmmConfig{4, 1, 8}, *map, 64);
+  CopyPhase phase(4);  // all nullopt
+  machine.copy_in(phase, 4);
+  EXPECT_EQ(machine.stats().global_time, 0u);
+  EXPECT_EQ(machine.stats().shared_time, 0u);
+}
+
+TEST(Hmm, CopyPhaseArityIsChecked) {
+  const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
+  Hmm machine(HmmConfig{4, 1, 8}, *map, 64);
+  EXPECT_THROW(machine.copy_in(CopyPhase(3), 4), std::invalid_argument);
+  EXPECT_THROW(machine.copy_out(CopyPhase(5), 4), std::invalid_argument);
+  EXPECT_THROW(machine.copy_global(CopyPhase(2), 4), std::invalid_argument);
+}
+
+// ---- Tiled transpose.
+
+class TiledTransposeCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<TransposeStrategy, Scheme, std::uint32_t>> {};
+
+TEST_P(TiledTransposeCorrectness, ProducesExactTranspose) {
+  const auto [strategy, scheme, tiles] = GetParam();
+  const TiledTransposeConfig config{8, tiles, 1, 8};
+  const auto report = run_tiled_transpose(strategy, scheme, config, 11);
+  EXPECT_TRUE(report.correct)
+      << strategy_name(strategy) << " " << core::scheme_name(scheme)
+      << " tiles=" << tiles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TiledTransposeCorrectness,
+    ::testing::Combine(::testing::Values(TransposeStrategy::kNaive,
+                                         TransposeStrategy::kTiled,
+                                         TransposeStrategy::kTiledDiagonal),
+                       ::testing::Values(Scheme::kRaw, Scheme::kRas,
+                                         Scheme::kRap),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto& param_info) {
+      std::string name = strategy_name(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '+') ch = '_';
+      }
+      return name + "_" +
+             std::string(core::scheme_name(std::get<1>(param_info.param))) +
+             "_t" + std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(TiledTranspose, GlobalCoalescingStructure) {
+  const TiledTransposeConfig config{8, 2, 1, 8};
+  // Naive: reads coalesced (1 slot/warp), writes uncoalesced (w slots):
+  // per tile, w warps * (1 + w) slots.
+  const auto naive = run_tiled_transpose(TransposeStrategy::kNaive,
+                                         Scheme::kRaw, config, 1);
+  const std::uint64_t tiles = 4, w = 8;
+  EXPECT_EQ(naive.stats.global_slots, tiles * (w * 1 + w * w));
+  EXPECT_EQ(naive.stats.shared_slots, 0u);
+
+  // Tiled: both global phases coalesced: per tile 2 * w slots.
+  const auto tiled = run_tiled_transpose(TransposeStrategy::kTiled,
+                                         Scheme::kRaw, config, 1);
+  EXPECT_EQ(tiled.stats.global_slots, tiles * 2 * w);
+  // Shared: write phase conflict-free (w slots), read phase stride
+  // (w * w slots).
+  EXPECT_EQ(tiled.stats.shared_slots, tiles * (w + w * w));
+}
+
+TEST(TiledTranspose, RapMatchesDiagonalWithoutHandTuning) {
+  const TiledTransposeConfig config{16, 2, 1, 32};
+  const auto raw_diag = run_tiled_transpose(TransposeStrategy::kTiledDiagonal,
+                                            Scheme::kRaw, config, 1);
+  double rap_total = 0;
+  constexpr int kSeeds = 10;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    rap_total += static_cast<double>(
+        run_tiled_transpose(TransposeStrategy::kTiled, Scheme::kRap, config,
+                            static_cast<std::uint64_t>(seed))
+            .total_cost());
+  }
+  rap_total /= kSeeds;
+  // RAP's naive tiled kernel lands within 15% of the hand-tuned diagonal.
+  EXPECT_NEAR(rap_total, static_cast<double>(raw_diag.total_cost()),
+              0.15 * static_cast<double>(raw_diag.total_cost()));
+}
+
+TEST(TiledTranspose, OrderingNaiveWorstTiledRawMiddleRapBest) {
+  const TiledTransposeConfig config{16, 2, 1, 32};
+  const auto naive = run_tiled_transpose(TransposeStrategy::kNaive,
+                                         Scheme::kRaw, config, 1);
+  const auto tiled_raw = run_tiled_transpose(TransposeStrategy::kTiled,
+                                             Scheme::kRaw, config, 1);
+  const auto tiled_rap = run_tiled_transpose(TransposeStrategy::kTiled,
+                                             Scheme::kRap, config, 1);
+  EXPECT_GT(naive.total_cost(), tiled_raw.total_cost());
+  EXPECT_GT(tiled_raw.total_cost(), tiled_rap.total_cost());
+}
+
+}  // namespace
+}  // namespace rapsim::hmm

@@ -1,0 +1,189 @@
+// Unit + property tests for the 2-D mappings (RAW / RAS / RAP).
+
+#include "core/mapping2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+
+namespace rapsim::core {
+namespace {
+
+TEST(RawMap, IsIdentity) {
+  RawMap map(8, 8);
+  for (std::uint64_t a = 0; a < map.size(); ++a) {
+    EXPECT_EQ(map.translate(a), a);
+  }
+  EXPECT_EQ(map.random_words(), 0u);
+  EXPECT_EQ(map.scheme(), Scheme::kRaw);
+}
+
+TEST(RawMap, BankIsAddressModWidth) {
+  RawMap map(32, 64);
+  for (std::uint64_t a = 0; a < map.size(); a += 7) {
+    EXPECT_EQ(map.bank_of(a), a % 32);
+  }
+}
+
+TEST(RasMap, ShiftsRowsByGivenOffsets) {
+  RasMap map(4, {1, 0, 3, 2});
+  // Row 0 shifted by 1: (0,0) -> column 1.
+  EXPECT_EQ(map.translate(map.index(0, 0)), map.index(0, 1));
+  // Row 2 shifted by 3: (2, 2) -> column (2+3)%4 = 1.
+  EXPECT_EQ(map.translate(map.index(2, 2)), map.index(2, 1));
+  EXPECT_EQ(map.random_words(), 4u);
+}
+
+TEST(RasMap, RejectsOutOfRangeOffset) {
+  EXPECT_THROW(RasMap(4, {0, 4, 1, 2}), std::invalid_argument);
+}
+
+TEST(RapMap, MatchesFigure6Example) {
+  // Figure 6: w = 4, p = (2, 0, 3, 1). Row i rotates by p_i, so element
+  // (i, j) moves to column (j + p_i) mod 4 and its bank is that column.
+  RapMap map(4, 4, Permutation({2, 0, 3, 1}));
+  // Row 0 rotates by 2: logical row 0 = [0 1 2 3] lands in columns
+  // [2 3 0 1].
+  EXPECT_EQ(map.translate(map.index(0, 0)), map.index(0, 2));
+  EXPECT_EQ(map.translate(map.index(0, 2)), map.index(0, 0));
+  // Row 1 rotates by 0.
+  EXPECT_EQ(map.translate(map.index(1, 1)), map.index(1, 1));
+  // Row 2 rotates by 3: a[2][1] (= value 9) lands in column (1+3)%4 = 0.
+  EXPECT_EQ(map.translate(map.index(2, 1)), map.index(2, 0));
+  // Row 3 rotates by 1.
+  EXPECT_EQ(map.translate(map.index(3, 3)), map.index(3, 0));
+}
+
+TEST(RapMap, RejectsWrongPermutationSize) {
+  EXPECT_THROW(RapMap(4, 4, Permutation::identity(5)), std::invalid_argument);
+}
+
+TEST(RapMap, TallMatrixReusesPermutationCyclically) {
+  RapMap map(4, 12, Permutation({2, 0, 3, 1}));
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(map.shift_of_row(i), map.shift_of_row(i % 4));
+  }
+}
+
+TEST(RapMap, RandomWordsEqualsWidth) {
+  util::Pcg32 rng(5);
+  RapMap map(32, 64, rng);
+  EXPECT_EQ(map.random_words(), 32u);
+}
+
+TEST(PadMap, SkewMatchesRealPaddedLayout) {
+  // Real padded layout: element (i, j) at i*(w+1)+j, bank (i+j) mod w.
+  PadMap map(8, 8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    for (std::uint64_t j = 0; j < 8; ++j) {
+      const auto real_bank =
+          static_cast<std::uint32_t>((i * 9 + j) % 8);
+      EXPECT_EQ(map.bank_of(map.index(i, j)), real_bank);
+    }
+  }
+  EXPECT_EQ(map.random_words(), 0u);
+  EXPECT_EQ(map.scheme(), Scheme::kPad);
+}
+
+TEST(PadMap, StrideIsConflictFree) {
+  PadMap map(16, 16);
+  for (std::uint64_t j = 0; j < 16; ++j) {
+    std::set<std::uint32_t> banks;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      banks.insert(map.bank_of(map.index(i, j)));
+    }
+    EXPECT_EQ(banks.size(), 16u);
+  }
+}
+
+TEST(PadMap, AntiDiagonalCollapsesToOneBank) {
+  // The deterministic weakness: i + j = const puts the warp in one bank.
+  PadMap map(16, 16);
+  std::set<std::uint32_t> banks;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    banks.insert(map.bank_of(map.index(i, (16 + 5 - i) % 16)));
+  }
+  EXPECT_EQ(banks.size(), 1u);
+}
+
+TEST(PadMap, DiagonalIsTwoWayConflictedForEvenWidth) {
+  PadMap map(16, 16);
+  std::vector<std::uint64_t> addrs;
+  for (std::uint64_t i = 0; i < 16; ++i) addrs.push_back(map.index(i, i));
+  EXPECT_EQ(congestion_value(addrs, map), 2u);
+}
+
+// ---- Property sweep: every scheme x width is a bijection that preserves
+// ---- rows (the shift moves cells only within their row).
+
+class Mapping2dProperty
+    : public ::testing::TestWithParam<std::tuple<Scheme, std::uint32_t>> {};
+
+TEST_P(Mapping2dProperty, TranslateIsARowPreservingBijection) {
+  const auto [scheme, width] = GetParam();
+  const std::uint64_t rows = 2 * width;  // taller than wide, like MatrixPair
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const auto map = make_matrix_map(scheme, width, rows, seed);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t a = 0; a < map->size(); ++a) {
+      const std::uint64_t phys = map->translate(a);
+      ASSERT_LT(phys, map->size());
+      EXPECT_EQ(phys / width, a / width) << "row not preserved";
+      images.insert(phys);
+    }
+    EXPECT_EQ(images.size(), map->size()) << "not a bijection";
+  }
+}
+
+TEST_P(Mapping2dProperty, ContiguousRowOccupiesAllBanks) {
+  const auto [scheme, width] = GetParam();
+  const auto map = make_matrix_map(scheme, width, width, 7);
+  for (std::uint64_t i = 0; i < width; ++i) {
+    std::set<std::uint32_t> banks;
+    for (std::uint64_t j = 0; j < width; ++j) {
+      banks.insert(map->bank_of(map->index(i, j)));
+    }
+    EXPECT_EQ(banks.size(), width);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndWidths, Mapping2dProperty,
+    ::testing::Combine(::testing::Values(Scheme::kRaw, Scheme::kRas,
+                                         Scheme::kRap, Scheme::kPad),
+                       ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u)),
+    [](const auto& param_info) {
+      return std::string(scheme_name(std::get<0>(param_info.param))) + "_w" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// RAP-specific property: banks of any aligned column (stride access) are
+// all distinct — the deterministic half of Theorem 2.
+class RapStrideProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RapStrideProperty, EveryColumnHitsAllBanks) {
+  const std::uint32_t width = GetParam();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto map = make_matrix_map(Scheme::kRap, width, width, seed);
+    for (std::uint64_t j = 0; j < width; ++j) {
+      std::set<std::uint32_t> banks;
+      for (std::uint64_t i = 0; i < width; ++i) {
+        banks.insert(map->bank_of(map->index(i, j)));
+      }
+      EXPECT_EQ(banks.size(), width);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RapStrideProperty,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u),
+                         [](const auto& param_info) {
+                           return "w" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace rapsim::core

@@ -1,0 +1,202 @@
+// Unit + property tests for the 4-D mappings (Section VII).
+
+#include "core/mapping4d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+
+namespace rapsim::core {
+namespace {
+
+TEST(Tensor4d, IndexDecomposeRoundTrip) {
+  Raw4dMap map(8);
+  for (std::uint32_t i : {0u, 3u, 7u}) {
+    for (std::uint32_t j : {0u, 5u}) {
+      for (std::uint32_t k : {1u, 6u}) {
+        for (std::uint32_t l : {0u, 7u}) {
+          const Index4d c{i, j, k, l};
+          EXPECT_EQ(map.decompose(map.index(c)), c);
+        }
+      }
+    }
+  }
+}
+
+TEST(Tensor4d, SizeIsWidthToTheFourth) {
+  Raw4dMap map(8);
+  EXPECT_EQ(map.size(), 8ull * 8 * 8 * 8);
+}
+
+TEST(Raw4d, BankIsInnermostCoordinate) {
+  Raw4dMap map(8);
+  for (std::uint32_t l = 0; l < 8; ++l) {
+    EXPECT_EQ(map.bank_of(map.index({3, 1, 4, l})), l);
+  }
+}
+
+TEST(OnePerm, ShiftDependsOnlyOnK) {
+  OnePermMap map(8, Permutation({3, 1, 4, 0, 5, 2, 7, 6}));
+  EXPECT_EQ(map.shift(0, 0, 2), 4u);
+  EXPECT_EQ(map.shift(7, 5, 2), 4u);  // i, j irrelevant
+  EXPECT_EQ(map.shift(1, 1, 6), 7u);
+}
+
+TEST(RepeatedOnePerm, ShiftIsSumOfThreeLookups) {
+  RepeatedOnePermMap map(8, Permutation({3, 1, 4, 0, 5, 2, 7, 6}));
+  // f(0, 1, 2) = p[0] + p[1] + p[2] = 3 + 1 + 4 = 8 mod 8 = 0.
+  EXPECT_EQ(map.shift(0, 1, 2), 0u);
+  // Index-permutation invariance: f is symmetric in (i, j, k).
+  EXPECT_EQ(map.shift(2, 0, 1), map.shift(0, 1, 2));
+  EXPECT_EQ(map.shift(1, 2, 0), map.shift(0, 1, 2));
+}
+
+TEST(ThreePerm, UsesAllThreePermutations) {
+  ThreePermMap map(4, Permutation({1, 0, 3, 2}), Permutation({2, 3, 0, 1}),
+                   Permutation({0, 1, 2, 3}));
+  // f(0,0,0) = 1 + 2 + 0 = 3.
+  EXPECT_EQ(map.shift(0, 0, 0), 3u);
+  // f(1,2,3) = 0 + 0 + 3 = 3.
+  EXPECT_EQ(map.shift(1, 2, 3), 3u);
+  EXPECT_EQ(map.random_words(), 12u);
+}
+
+TEST(Factory, RandomWordsMatchTable4) {
+  // Table IV "Random numbers" row: RAW 0, RAS w^3, 1P w, R1P w, 3P 3w,
+  // w^2P w^3, 1P+w^2R w + w^2.
+  const std::uint32_t w = 8;
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRaw, w, 1)->random_words(), 0u);
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRas, w, 1)->random_words(),
+            static_cast<std::uint64_t>(w) * w * w);
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRap1P, w, 1)->random_words(), w);
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRapR1P, w, 1)->random_words(), w);
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRap3P, w, 1)->random_words(), 3u * w);
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRapW2P, w, 1)->random_words(),
+            static_cast<std::uint64_t>(w) * w * w);
+  EXPECT_EQ(make_tensor4d_map(Scheme::kRap1PW2R, w, 1)->random_words(),
+            static_cast<std::uint64_t>(w) + w * w);
+}
+
+TEST(Factory, Rejects2dSchemeFor4d) {
+  EXPECT_THROW(make_tensor4d_map(Scheme::kRap, 8, 1), std::invalid_argument);
+}
+
+TEST(Factory, Rejects4dSchemeFor2d) {
+  EXPECT_THROW(make_matrix_map(Scheme::kRap3P, 8, 8, 1),
+               std::invalid_argument);
+}
+
+// ---- Property sweep over all 4-D schemes.
+
+class Mapping4dProperty
+    : public ::testing::TestWithParam<std::tuple<Scheme, std::uint32_t>> {};
+
+TEST_P(Mapping4dProperty, TranslateIsARowPreservingBijection) {
+  const auto [scheme, width] = GetParam();
+  const auto map = make_tensor4d_map(scheme, width, 99);
+  std::set<std::uint64_t> images;
+  for (std::uint64_t a = 0; a < map->size(); ++a) {
+    const std::uint64_t phys = map->translate(a);
+    ASSERT_LT(phys, map->size());
+    EXPECT_EQ(phys / width, a / width) << "innermost row not preserved";
+    images.insert(phys);
+  }
+  EXPECT_EQ(images.size(), map->size());
+}
+
+TEST_P(Mapping4dProperty, ContiguousAccessIsConflictFree) {
+  const auto [scheme, width] = GetParam();
+  const auto map = make_tensor4d_map(scheme, width, 5);
+  util::Pcg32 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index4d base{rng.bounded(width), rng.bounded(width),
+                       rng.bounded(width), 0};
+    std::vector<std::uint64_t> addrs;
+    for (std::uint32_t l = 0; l < width; ++l) {
+      addrs.push_back(map->index({base.i, base.j, base.k, l}));
+    }
+    EXPECT_EQ(congestion_value(addrs, *map), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, Mapping4dProperty,
+    ::testing::Combine(::testing::Values(Scheme::kRaw, Scheme::kRas,
+                                         Scheme::kRap1P, Scheme::kRapR1P,
+                                         Scheme::kRap3P, Scheme::kRapW2P,
+                                         Scheme::kRap1PW2R),
+                       ::testing::Values(4u, 8u)),
+    [](const auto& param_info) {
+      std::string name = scheme_name(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '+') ch = '_';
+      }
+      return name + "_w" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// Stride conflict-freedom guarantees per scheme (the "1" cells of
+// Table IV): R1P and 3P are conflict-free in all three stride directions;
+// 1P, w^2P and 1P+w^2R only in stride1 (varying k).
+
+class StrideFree4d
+    : public ::testing::TestWithParam<std::tuple<Scheme, int>> {};
+
+TEST_P(StrideFree4d, GuaranteedConflictFreeDirections) {
+  const auto [scheme, direction] = GetParam();
+  const std::uint32_t w = 8;
+  util::Pcg32 rng(3);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto map = make_tensor4d_map(scheme, w, seed);
+    const Index4d base{rng.bounded(w), rng.bounded(w), rng.bounded(w),
+                       rng.bounded(w)};
+    std::vector<std::uint64_t> addrs;
+    for (std::uint32_t t = 0; t < w; ++t) {
+      Index4d c = base;
+      if (direction == 1) c.k = t;
+      if (direction == 2) c.j = t;
+      if (direction == 3) c.i = t;
+      addrs.push_back(map->index(c));
+    }
+    EXPECT_EQ(congestion_value(addrs, *map), 1u)
+        << scheme_name(scheme) << " stride" << direction << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GuaranteedCells, StrideFree4d,
+    ::testing::Values(std::make_tuple(Scheme::kRap1P, 1),
+                      std::make_tuple(Scheme::kRapR1P, 1),
+                      std::make_tuple(Scheme::kRapR1P, 2),
+                      std::make_tuple(Scheme::kRapR1P, 3),
+                      std::make_tuple(Scheme::kRap3P, 1),
+                      std::make_tuple(Scheme::kRap3P, 2),
+                      std::make_tuple(Scheme::kRap3P, 3),
+                      std::make_tuple(Scheme::kRapW2P, 1),
+                      std::make_tuple(Scheme::kRap1PW2R, 1)),
+    [](const auto& param_info) {
+      std::string name = scheme_name(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '+') ch = '_';
+      }
+      return name + "_stride" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// 1P's failure mode: stride2/stride3 put the whole warp in one bank.
+TEST(OnePerm, Stride2AndStride3AreFullyCongested) {
+  const std::uint32_t w = 8;
+  const auto map = make_tensor4d_map(Scheme::kRap1P, w, 11);
+  std::vector<std::uint64_t> stride2, stride3;
+  for (std::uint32_t t = 0; t < w; ++t) {
+    stride2.push_back(map->index({2, t, 3, 4}));
+    stride3.push_back(map->index({t, 1, 3, 4}));
+  }
+  EXPECT_EQ(congestion_value(stride2, *map), w);
+  EXPECT_EQ(congestion_value(stride3, *map), w);
+}
+
+}  // namespace
+}  // namespace rapsim::core

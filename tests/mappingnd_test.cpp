@@ -1,0 +1,125 @@
+// Tests for the generic d-dimensional mappings.
+
+#include "core/mappingnd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <tuple>
+
+#include "core/congestion.hpp"
+#include "core/mapping2d.hpp"
+#include "core/mapping4d.hpp"
+
+namespace rapsim::core {
+namespace {
+
+TEST(NdMap, RejectsFewerThanTwoDims) {
+  EXPECT_THROW(RawNdMap(4, 1), std::invalid_argument);
+}
+
+TEST(NdMap, RejectsOverflowingShape) {
+  EXPECT_THROW(RawNdMap(256, 9), std::invalid_argument);  // 256^9 > 2^64
+}
+
+TEST(NdMap, IndexAndOuterRoundTrip) {
+  RawNdMap map(4, 3);
+  const std::array<std::uint32_t, 3> coords = {2, 1, 3};
+  const std::uint64_t addr = map.index(coords);
+  EXPECT_EQ(addr, 2u * 16 + 1 * 4 + 3);
+  const auto outer = map.outer_of(addr);
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_EQ(outer[0], 2u);
+  EXPECT_EQ(outer[1], 1u);
+}
+
+TEST(NdMap, IndexValidatesArity) {
+  RawNdMap map(4, 3);
+  const std::array<std::uint32_t, 2> wrong = {1, 2};
+  EXPECT_THROW(static_cast<void>(map.index(wrong)), std::invalid_argument);
+  const std::array<std::uint32_t, 3> oob = {1, 2, 4};
+  EXPECT_THROW(static_cast<void>(map.index(oob)), std::out_of_range);
+}
+
+TEST(MultiPermNd, TwoDimMatchesRapMap) {
+  // d = 2 with one permutation must reproduce the original 2-D RAP for a
+  // w x w matrix.
+  const Permutation p({2, 0, 3, 1});
+  MultiPermNdMap nd(4, {p});
+  RapMap rap(4, 4, p);
+  for (std::uint64_t a = 0; a < rap.size(); ++a) {
+    EXPECT_EQ(nd.translate(a), rap.translate(a));
+  }
+}
+
+TEST(MultiPermNd, FourDimMatchesThreePermMap) {
+  const Permutation p({1, 0, 3, 2}), q({2, 3, 0, 1}), s({0, 1, 2, 3});
+  MultiPermNdMap nd(4, {p, q, s});
+  ThreePermMap three(4, p, q, s);
+  for (std::uint64_t a = 0; a < three.size(); ++a) {
+    EXPECT_EQ(nd.translate(a), three.translate(a));
+  }
+}
+
+TEST(MultiPermNd, RandomWordsIsPerDimension) {
+  util::Pcg32 rng(1);
+  MultiPermNdMap map(8, 5, rng);
+  EXPECT_EQ(map.random_words(), 4u * 8);
+  EXPECT_EQ(map.name(), "4P-5d");
+}
+
+class NdStrideProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(NdStrideProperty, EverySingleAxisSweepIsConflictFree) {
+  const auto [w, d] = GetParam();
+  util::Pcg32 rng(d * 100 + w);
+  MultiPermNdMap map(w, d, rng);
+
+  for (std::uint32_t axis = 0; axis < d; ++axis) {
+    // Random base point; sweep `axis` through all w values.
+    std::vector<std::uint32_t> base(d);
+    for (auto& c : base) c = rng.bounded(w);
+    std::vector<std::uint64_t> addrs;
+    for (std::uint32_t v = 0; v < w; ++v) {
+      auto coords = base;
+      coords[axis] = v;
+      addrs.push_back(map.index(coords));
+    }
+    EXPECT_EQ(congestion_value(addrs, map), 1u)
+        << "axis " << axis << " w " << w << " d " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NdStrideProperty,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u),
+                       ::testing::Values(2u, 3u, 4u, 5u)),
+    [](const auto& param_info) {
+      return "w" + std::to_string(std::get<0>(param_info.param)) + "_d" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(MultiPermNd, IsABijectionForSmallShapes) {
+  util::Pcg32 rng(9);
+  for (const std::uint32_t d : {2u, 3u, 4u}) {
+    MultiPermNdMap map(4, d, rng);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t a = 0; a < map.size(); ++a) {
+      const std::uint64_t phys = map.translate(a);
+      ASSERT_LT(phys, map.size());
+      images.insert(phys);
+    }
+    EXPECT_EQ(images.size(), map.size());
+  }
+}
+
+TEST(MultiPermNd, RejectsWrongPermutationSize) {
+  EXPECT_THROW(MultiPermNdMap(4, {Permutation::identity(5)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rapsim::core

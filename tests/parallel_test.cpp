@@ -1,0 +1,76 @@
+// Unit tests for util/parallel.hpp.
+
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rapsim::util {
+namespace {
+
+TEST(ParallelForChunks, CoversRangeExactlyOnce) {
+  constexpr std::size_t kTotal = 1000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  parallel_for_chunks(kTotal, 16,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          hits[i].fetch_add(1);
+                        }
+                      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunks, ChunksAreContiguousAndOrderedByIndex) {
+  constexpr std::size_t kTotal = 103;
+  constexpr std::size_t kChunks = 7;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(kChunks);
+  parallel_for_chunks(kTotal, kChunks,
+                      [&](std::size_t c, std::size_t begin, std::size_t end) {
+                        ranges[c] = {begin, end};
+                      });
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, kTotal);
+  for (std::size_t c = 1; c < kChunks; ++c) {
+    EXPECT_EQ(ranges[c].first, ranges[c - 1].second);
+  }
+}
+
+TEST(ParallelForChunks, ZeroTotalIsNoop) {
+  bool called = false;
+  parallel_for_chunks(0, 4, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunks, MoreChunksThanItemsClamps) {
+  std::atomic<int> calls{0};
+  parallel_for_chunks(3, 100,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        calls.fetch_add(1);
+                        EXPECT_EQ(end - begin, 1u);
+                      });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelForChunks, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallel_for_chunks(10, 4,
+                          [](std::size_t c, std::size_t, std::size_t) {
+                            if (c == 2) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+}
+
+TEST(WorkerCount, IsPositiveAndBounded) {
+  const std::size_t n = worker_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 64u);
+}
+
+}  // namespace
+}  // namespace rapsim::util

@@ -1,0 +1,88 @@
+// Unit tests for core/permutation.hpp.
+
+#include "core/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace rapsim::core {
+namespace {
+
+TEST(Permutation, IdentityMapsEachToItself) {
+  const auto p = Permutation::identity(8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Permutation, RandomIsValid) {
+  util::Pcg32 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = Permutation::random(32, rng);
+    EXPECT_TRUE(Permutation::is_valid_image(p.image()));
+  }
+}
+
+TEST(Permutation, RandomIsDeterministicInSeed) {
+  util::Pcg32 a(7), b(7);
+  EXPECT_EQ(Permutation::random(16, a), Permutation::random(16, b));
+}
+
+TEST(Permutation, ConstructorRejectsDuplicates) {
+  EXPECT_THROW(Permutation({0, 1, 1, 3}), std::invalid_argument);
+}
+
+TEST(Permutation, ConstructorRejectsOutOfRange) {
+  EXPECT_THROW(Permutation({0, 1, 4, 2}), std::invalid_argument);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  util::Pcg32 rng(3);
+  const auto p = Permutation::random(24, rng);
+  const auto inv = p.inverse();
+  EXPECT_EQ(p.compose(inv), Permutation::identity(24));
+  EXPECT_EQ(inv.compose(p), Permutation::identity(24));
+}
+
+TEST(Permutation, ComposeAppliesRightThenLeft) {
+  const Permutation p({1, 2, 0});  // i -> i+1 mod 3
+  const Permutation q({2, 0, 1});  // i -> i-1 mod 3
+  EXPECT_EQ(p.compose(q), Permutation::identity(3));
+  // p ∘ p: i -> i+2 mod 3
+  EXPECT_EQ(p.compose(p), Permutation({2, 0, 1}));
+}
+
+TEST(Permutation, ComposeRejectsSizeMismatch) {
+  EXPECT_THROW(Permutation::identity(3).compose(Permutation::identity(4)),
+               std::invalid_argument);
+}
+
+TEST(Permutation, ToStringMatchesFigure6Example) {
+  const Permutation p({2, 0, 3, 1});  // the paper's Figure 6 permutation
+  EXPECT_EQ(p.to_string(), "(2 0 3 1)");
+}
+
+TEST(Permutation, SizeOneAndZero) {
+  EXPECT_EQ(Permutation::identity(0).size(), 0u);
+  util::Pcg32 rng(1);
+  EXPECT_EQ(Permutation::random(1, rng)[0], 0u);
+}
+
+// Uniformity: over many draws of size-4 permutations, each of the 24
+// possible outcomes should appear about trials/24 times.
+TEST(Permutation, FisherYatesIsUniform) {
+  util::Pcg32 rng(777);
+  std::map<std::vector<std::uint32_t>, int> counts;
+  constexpr int kTrials = 24000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto p = Permutation::random(4, rng);
+    counts[std::vector<std::uint32_t>(p.image().begin(), p.image().end())]++;
+  }
+  EXPECT_EQ(counts.size(), 24u);
+  for (const auto& [image, count] : counts) {
+    EXPECT_NEAR(count, kTrials / 24, 0.15 * kTrials / 24);
+  }
+}
+
+}  // namespace
+}  // namespace rapsim::core

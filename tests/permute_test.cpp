@@ -1,0 +1,217 @@
+// Tests for the offline-permutation module: the graph-coloring
+// conflict-free scheduler and the direct kernels.
+
+#include "permute/offline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/congestion.hpp"
+#include "core/factory.hpp"
+#include "dmm/machine.hpp"
+
+namespace rapsim::permute {
+namespace {
+
+using core::Permutation;
+using core::Scheme;
+
+/// Check that a coloring is proper: within a color class, all source
+/// banks distinct and all destination banks distinct.
+void expect_proper_coloring(const Permutation& pi,
+                            const PermutationLayout& layout,
+                            const std::vector<std::uint32_t>& color) {
+  const std::uint32_t w = layout.width;
+  const auto colors = static_cast<std::uint32_t>(layout.rows);
+  std::vector<std::set<std::uint32_t>> left(colors), right(colors);
+  for (std::uint64_t i = 0; i < layout.elements(); ++i) {
+    ASSERT_LT(color[i], colors);
+    EXPECT_TRUE(left[color[i]].insert(static_cast<std::uint32_t>(i % w)).second)
+        << "source bank repeated in color " << color[i];
+    EXPECT_TRUE(
+        right[color[i]].insert(static_cast<std::uint32_t>(pi[i] % w)).second)
+        << "dest bank repeated in color " << color[i];
+  }
+  // Regularity: every class has exactly w elements.
+  for (std::uint32_t c = 0; c < colors; ++c) {
+    EXPECT_EQ(left[c].size(), w);
+    EXPECT_EQ(right[c].size(), w);
+  }
+}
+
+/// Run a permutation kernel and verify b[pi(i)] == a[i].
+void expect_applies_permutation(const dmm::Kernel& kernel,
+                                const Permutation& pi,
+                                const PermutationLayout& layout,
+                                const core::AddressMap& map) {
+  dmm::Dmm machine(dmm::DmmConfig{layout.width, 1}, map);
+  for (std::uint64_t i = 0; i < layout.elements(); ++i) {
+    machine.store(layout.a_addr(i), i + 1);
+  }
+  machine.run(kernel);
+  for (std::uint64_t i = 0; i < layout.elements(); ++i) {
+    EXPECT_EQ(machine.load(layout.b_addr(pi[i])), i + 1) << "i = " << i;
+  }
+}
+
+TEST(KnownPermutations, TransposePermutationIsCorrect) {
+  const auto pi = transpose_permutation(4);
+  EXPECT_EQ(pi[0 * 4 + 1], 1u * 4 + 0);
+  EXPECT_EQ(pi[2 * 4 + 3], 3u * 4 + 2);
+  EXPECT_EQ(pi.compose(pi), Permutation::identity(16));  // involution
+}
+
+TEST(KnownPermutations, BitReversalIsInvolution) {
+  const auto pi = bit_reversal_permutation(64);
+  EXPECT_EQ(pi.compose(pi), Permutation::identity(64));
+  EXPECT_EQ(pi[1], 32u);  // 000001 -> 100000
+  EXPECT_EQ(pi[3], 48u);  // 000011 -> 110000
+}
+
+TEST(KnownPermutations, BitReversalRejectsNonPowerOfTwo) {
+  EXPECT_THROW(bit_reversal_permutation(12), std::invalid_argument);
+}
+
+TEST(KnownPermutations, StridePermutationCoversAll) {
+  const auto pi = stride_permutation(64, 5);
+  EXPECT_EQ(pi[1], 5u);
+  EXPECT_EQ(pi[13], 65u % 64);
+}
+
+TEST(KnownPermutations, StridePermutationRejectsNonCoprime) {
+  EXPECT_THROW(stride_permutation(64, 4), std::invalid_argument);
+}
+
+TEST(DirectKernel, AppliesPermutationUnderAllSchemes) {
+  const PermutationLayout layout{8, 8};
+  util::Pcg32 rng(1);
+  const auto pi = Permutation::random(layout.elements(), rng);
+  const auto kernel = build_direct_kernel(pi, layout);
+  for (const Scheme s : core::table2_schemes()) {
+    const auto map = core::make_matrix_map(s, 8, layout.total_rows(), 3);
+    expect_applies_permutation(kernel, pi, layout, *map);
+  }
+}
+
+TEST(DirectKernel, RejectsSizeMismatch) {
+  const PermutationLayout layout{8, 8};
+  EXPECT_THROW(build_direct_kernel(Permutation::identity(4), layout),
+               std::invalid_argument);
+}
+
+class ColoringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColoringProperty, RandomPermutationsColorProperly) {
+  const PermutationLayout layout{16, 16};
+  util::Pcg32 rng(GetParam());
+  const auto pi = Permutation::random(layout.elements(), rng);
+  expect_proper_coloring(pi, layout, color_conflict_free(pi, layout));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+TEST(Coloring, HandlesWorstCasePermutations) {
+  const PermutationLayout layout{16, 16};
+  for (const auto& pi :
+       {transpose_permutation(16), bit_reversal_permutation(256),
+        stride_permutation(256, 17), Permutation::identity(256)}) {
+    expect_proper_coloring(pi, layout, color_conflict_free(pi, layout));
+  }
+}
+
+TEST(Coloring, NonSquareLayouts) {
+  // rows != width: degree differs from w.
+  for (const std::uint64_t rows : {4ull, 8ull, 32ull}) {
+    const PermutationLayout layout{16, rows};
+    util::Pcg32 rng(rows);
+    const auto pi = Permutation::random(layout.elements(), rng);
+    const auto color = color_conflict_free(pi, layout);
+    const std::uint32_t w = layout.width;
+    std::vector<std::set<std::uint32_t>> left(rows), right(rows);
+    for (std::uint64_t i = 0; i < layout.elements(); ++i) {
+      ASSERT_LT(color[i], rows);
+      EXPECT_TRUE(left[color[i]].insert(static_cast<std::uint32_t>(i % w)).second);
+      EXPECT_TRUE(
+          right[color[i]].insert(static_cast<std::uint32_t>(pi[i] % w)).second);
+    }
+  }
+}
+
+TEST(ScheduledKernel, ConflictFreeUnderRawForRandomPermutations) {
+  const PermutationLayout layout{16, 16};
+  const auto map =
+      core::make_matrix_map(Scheme::kRaw, 16, layout.total_rows(), 1);
+  dmm::Dmm machine(dmm::DmmConfig{16, 1}, *map);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Pcg32 rng(seed);
+    const auto pi = Permutation::random(layout.elements(), rng);
+    const auto kernel = build_scheduled_kernel(pi, layout);
+    dmm::Trace trace;
+    machine.run(kernel, &trace);
+    for (const auto& d : trace.dispatches) {
+      EXPECT_EQ(d.stages, 1u) << "seed " << seed << " warp " << d.warp
+                              << " instr " << d.instruction;
+    }
+  }
+}
+
+TEST(ScheduledKernel, StillAppliesThePermutation) {
+  const PermutationLayout layout{8, 8};
+  util::Pcg32 rng(7);
+  const auto pi = Permutation::random(layout.elements(), rng);
+  const auto map =
+      core::make_matrix_map(Scheme::kRaw, 8, layout.total_rows(), 1);
+  expect_applies_permutation(build_scheduled_kernel(pi, layout), pi, layout,
+                             *map);
+}
+
+TEST(ScheduledKernel, BeatsDirectOnWorstCasePermutation) {
+  // The transpose permutation is the stride worst case for the direct
+  // kernel under RAW; the scheduled kernel must be ~w times faster.
+  const PermutationLayout layout{16, 16};
+  const auto pi = transpose_permutation(16);
+  const auto map =
+      core::make_matrix_map(Scheme::kRaw, 16, layout.total_rows(), 1);
+
+  dmm::Dmm direct_machine(dmm::DmmConfig{16, 1}, *map);
+  const auto direct = direct_machine.run(build_direct_kernel(pi, layout));
+  dmm::Dmm scheduled_machine(dmm::DmmConfig{16, 1}, *map);
+  const auto scheduled =
+      scheduled_machine.run(build_scheduled_kernel(pi, layout));
+
+  EXPECT_GT(direct.time, 4 * scheduled.time);
+  EXPECT_EQ(scheduled.max_congestion, 1u);
+}
+
+TEST(ScheduledKernel, RapDirectGetsCloseToScheduled) {
+  // The paper's pitch: RAP's automatic ~3.5 congestion is within a small
+  // factor of the hand-scheduled optimum, with none of the machinery.
+  const PermutationLayout layout{32, 32};
+  const auto pi = transpose_permutation(32);
+
+  const auto raw_map =
+      core::make_matrix_map(Scheme::kRaw, 32, layout.total_rows(), 1);
+  dmm::Dmm scheduled_machine(dmm::DmmConfig{32, 1}, *raw_map);
+  const auto scheduled =
+      scheduled_machine.run(build_scheduled_kernel(pi, layout));
+
+  double rap_time = 0;
+  constexpr int kSeeds = 20;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto rap_map = core::make_matrix_map(
+        Scheme::kRap, 32, layout.total_rows(), static_cast<std::uint64_t>(seed));
+    dmm::Dmm machine(dmm::DmmConfig{32, 1}, *rap_map);
+    rap_time +=
+        static_cast<double>(machine.run(build_direct_kernel(pi, layout)).time);
+  }
+  rap_time /= kSeeds;
+  EXPECT_LT(rap_time, 4.0 * static_cast<double>(scheduled.time));
+}
+
+}  // namespace
+}  // namespace rapsim::permute

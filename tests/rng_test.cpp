@@ -1,0 +1,101 @@
+// Unit tests for the deterministic RNGs (util/rng.hpp).
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace rapsim::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value from the splitmix64 reference implementation, seed 0:
+  // first output is 0xE220A8397B1DCDAF.
+  SplitMix64 g(0);
+  EXPECT_EQ(g(), 0xE220A8397B1DCDAFull);
+}
+
+TEST(Pcg32, IsDeterministic) {
+  Pcg32 a(7, 3), b(7, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);  // coincidental 32-bit collisions only
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 g(123);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 32u, 100u, 1u << 20}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(g.bounded(bound), bound);
+  }
+}
+
+TEST(Pcg32, BoundedZeroAndOneReturnZero) {
+  Pcg32 g(9);
+  EXPECT_EQ(g.bounded(0), 0u);
+  EXPECT_EQ(g.bounded(1), 0u);
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 g(2024);
+  constexpr std::uint32_t kBound = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBound> hist{};
+  for (int i = 0; i < kDraws; ++i) ++hist[g.bounded(kBound)];
+  for (const int h : hist) {
+    EXPECT_NEAR(h, kDraws / kBound, 0.05 * kDraws / kBound);
+  }
+}
+
+TEST(Xoshiro256ss, IsDeterministic) {
+  Xoshiro256ss a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ss, JumpProducesDisjointStream) {
+  Xoshiro256ss a(5);
+  Xoshiro256ss b(5);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(first.count(b()));
+}
+
+TEST(Uniform01, InHalfOpenUnitInterval) {
+  Xoshiro256ss g(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(g);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform01, MeanIsAboutHalf) {
+  Xoshiro256ss g(13);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += uniform01(g);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace rapsim::util

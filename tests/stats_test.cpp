@@ -1,0 +1,112 @@
+// Unit tests for util/stats.hpp.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rapsim::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsAllZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  // Sample variance of that classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsNoop) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(Tally, MeanAndExtremes) {
+  Tally t;
+  for (std::uint64_t v : {1ull, 2ull, 2ull, 3ull, 3ull, 3ull}) t.add(v);
+  EXPECT_EQ(t.count(), 6u);
+  EXPECT_NEAR(t.mean(), 14.0 / 6.0, 1e-12);
+  EXPECT_EQ(t.min(), 1u);
+  EXPECT_EQ(t.max(), 3u);
+  EXPECT_EQ(t.occurrences(2), 2u);
+  EXPECT_EQ(t.occurrences(7), 0u);
+}
+
+TEST(Tally, TailProbability) {
+  Tally t;
+  for (std::uint64_t v = 1; v <= 10; ++v) t.add(v);
+  EXPECT_NEAR(t.tail_at_least(1), 1.0, 1e-12);
+  EXPECT_NEAR(t.tail_at_least(6), 0.5, 1e-12);
+  EXPECT_NEAR(t.tail_at_least(11), 0.0, 1e-12);
+}
+
+TEST(Tally, EmptyTally) {
+  Tally t;
+  EXPECT_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.min(), 0u);
+  EXPECT_EQ(t.max(), 0u);
+  EXPECT_EQ(t.tail_at_least(1), 0.0);
+}
+
+TEST(FormatFixed, MatchesPaperStyle) {
+  EXPECT_EQ(format_fixed(3.53, 2), "3.53");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(154.46, 1), "154.5");
+}
+
+}  // namespace
+}  // namespace rapsim::util

@@ -1,0 +1,72 @@
+// Unit tests for util/table.hpp.
+
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rapsim::util {
+namespace {
+
+TEST(TextTable, CsvRendering) {
+  TextTable t;
+  t.row().add("a").add("b");
+  t.row().add(1).add(2.5, 1);
+  EXPECT_EQ(t.render(TableStyle::kCsv), "a,b\n1,2.5\n");
+}
+
+TEST(TextTable, MarkdownHasHeaderSeparator) {
+  TextTable t;
+  t.row().add("x").add("y");
+  t.row().add("1").add("2");
+  const std::string md = t.render(TableStyle::kMarkdown);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(TextTable, AsciiAlignsColumns) {
+  TextTable t;
+  t.row().add("name").add("value");
+  t.row().add("w").add("32");
+  const std::string ascii = t.render(TableStyle::kAscii);
+  // All lines between separators have the same length.
+  std::istringstream in(ascii);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TextTable, RaggedRowsArePadded) {
+  TextTable t;
+  t.row().add("a").add("b").add("c");
+  t.row().add("only-one");
+  const std::string csv = t.render(TableStyle::kCsv);
+  EXPECT_EQ(csv, "a,b,c\nonly-one,,\n");
+}
+
+TEST(TextTable, AddWithoutRowStartsOne) {
+  TextTable t;
+  t.add("implicit");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, NumericOverloads) {
+  TextTable t;
+  t.row().add(std::uint64_t{123}).add(-4).add(3.14159, 2);
+  EXPECT_EQ(t.render(TableStyle::kCsv), "123,-4,3.14\n");
+}
+
+TEST(TextTable, PrintStreams) {
+  TextTable t;
+  t.row().add("z");
+  std::ostringstream out;
+  t.print(out, TableStyle::kCsv);
+  EXPECT_EQ(out.str(), "z\n");
+}
+
+}  // namespace
+}  // namespace rapsim::util

@@ -1,0 +1,138 @@
+// Tests for the analytic companions (Chernoff bound, Lemma 4 / Theorem 2
+// envelopes, balls-in-bins expectations).
+
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rapsim::core {
+namespace {
+
+TEST(Chernoff, BoundIsAtMostOne) {
+  for (double mu : {0.5, 1.0, 2.0, 8.0}) {
+    for (double delta : {0.1, 1.0, 3.0, 10.0}) {
+      const double b = chernoff_upper_tail(mu, delta);
+      EXPECT_GT(b, 0.0);
+      EXPECT_LE(b, 1.0);
+    }
+  }
+}
+
+TEST(Chernoff, DegenerateArgumentsReturnOne) {
+  EXPECT_EQ(chernoff_upper_tail(0.0, 1.0), 1.0);
+  EXPECT_EQ(chernoff_upper_tail(1.0, 0.0), 1.0);
+  EXPECT_EQ(chernoff_upper_tail(1.0, -0.5), 1.0);
+}
+
+TEST(Chernoff, DecreasesInDelta) {
+  double prev = 1.0;
+  for (double delta = 0.5; delta < 20.0; delta += 0.5) {
+    const double b = chernoff_upper_tail(1.0, delta);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Chernoff, MatchesClosedFormForSmallValues) {
+  // mu = 1, delta = 1: bound = e / 4.
+  EXPECT_NEAR(chernoff_upper_tail(1.0, 1.0), std::exp(1.0) / 4.0, 1e-12);
+}
+
+TEST(Lemma4, ThresholdGrowsWithWidthBeyondEToTheE) {
+  // 3 ln w / ln ln w is decreasing below w = e^e ~ 15.2 (the ln ln w
+  // denominator is < 1 there) and monotone increasing after.
+  double prev = 0.0;
+  for (std::uint32_t w : {16u, 32u, 64u, 128u, 256u, 1024u, 4096u}) {
+    const double t = lemma4_threshold(w);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_GT(lemma4_threshold(4), lemma4_threshold(16));
+}
+
+TEST(Lemma4, ThresholdRejectsTinyWidth) {
+  EXPECT_THROW(static_cast<void>(lemma4_threshold(2)), std::invalid_argument);
+}
+
+TEST(Lemma4, TailBoundBeatsInverseSquareWidthForLargeW) {
+  // The lemma proves P <= 1/w^2; the raw Chernoff value should satisfy it
+  // once w is large enough for the proof's inequality chain.
+  for (std::uint32_t w : {256u, 1024u, 4096u}) {
+    EXPECT_LE(lemma4_tail_bound(w), 1.0 / (static_cast<double>(w) * w) * 1.5);
+  }
+}
+
+TEST(Theorem2, BoundIsTwiceHalfWarpEnvelope) {
+  for (std::uint32_t w : {16u, 32u, 64u}) {
+    EXPECT_NEAR(theorem2_expectation_bound(w),
+                2.0 * (lemma4_threshold(w) + 0.5), 1e-12);
+  }
+}
+
+TEST(BallsInBins, ExactMatchesHandComputedTinyCases) {
+  // 1 ball: max load is always 1.
+  EXPECT_NEAR(expected_max_load_exact(1, 4), 1.0, 1e-12);
+  // 2 balls, 2 bins: max is 2 with prob 1/2, else 1 -> E = 1.5.
+  EXPECT_NEAR(expected_max_load_exact(2, 2), 1.5, 1e-12);
+  // 3 balls, 3 bins: P[max=1] = 3!/27 = 2/9; P[max=3] = 3/27 = 1/9;
+  // P[max=2] = 1 - 2/9 - 1/9 = 6/9. E = 2/9 + 12/9 + 3/9 = 17/9.
+  EXPECT_NEAR(expected_max_load_exact(3, 3), 17.0 / 9.0, 1e-12);
+}
+
+TEST(BallsInBins, ExactRejectsLargeInputs) {
+  EXPECT_THROW(static_cast<void>(expected_max_load_exact(17, 4)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(expected_max_load_exact(4, 17)), std::invalid_argument);
+}
+
+TEST(BallsInBins, MonteCarloAgreesWithExact) {
+  for (std::uint32_t n : {4u, 8u, 16u}) {
+    const double exact = expected_max_load_exact(n, n);
+    const double mc = expected_max_load_mc(n, n, 200000, 42);
+    EXPECT_NEAR(mc, exact, 0.02) << "n = " << n;
+  }
+}
+
+TEST(BallsInBins, UpperBoundsPaperRandomRowOfTable2) {
+  // Table II "Random" row: 2.92, 3.44, 3.90, 4.34, 4.75 for w = 16..256.
+  // Random *access* merges duplicate addresses (w draws from w^2 cells),
+  // so balls-in-bins is an upper bound that tightens as w grows — the gap
+  // is ~0.16 at w = 16 and negligible by w = 128. (The exact-match check
+  // against the paper, with merging, lives in integration_test.cpp.)
+  const std::pair<std::uint32_t, double> expected[] = {
+      {16, 2.92}, {32, 3.44}, {64, 3.90}, {128, 4.34}, {256, 4.75}};
+  double prev_gap = 1.0;
+  for (const auto& [w, paper] : expected) {
+    const double mc = expected_max_load_mc(w, w, 100000, 7);
+    EXPECT_GT(mc, paper - 0.03) << "w = " << w;
+    const double gap = mc - paper;
+    EXPECT_LT(gap, prev_gap + 0.02) << "gap should shrink, w = " << w;
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.05);  // essentially converged by w = 256
+}
+
+TEST(BallsInBins, GonnetFormulaTracksMonteCarlo) {
+  // Gonnet's Gamma^{-1}(n) - 3/2 asymptotic should track the measured
+  // expectation within ~10% across the Table II widths.
+  for (std::uint32_t n : {16u, 32u, 64u, 128u, 256u}) {
+    const double mc = expected_max_load_mc(n, n, 50000, 3);
+    const double gonnet = gonnet_expected_max_load(n);
+    EXPECT_NEAR(gonnet, mc, 0.12 * mc) << "n = " << n;
+  }
+}
+
+TEST(BallsInBins, GonnetDegenerateInputs) {
+  EXPECT_EQ(gonnet_expected_max_load(0), 0.0);
+  EXPECT_EQ(gonnet_expected_max_load(1), 1.0);
+}
+
+TEST(BallsInBins, ZeroCases) {
+  EXPECT_EQ(expected_max_load_mc(0, 8, 10, 1), 0.0);
+  EXPECT_EQ(expected_max_load_mc(8, 8, 0, 1), 0.0);
+  EXPECT_EQ(expected_max_load_exact(0, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace rapsim::core

@@ -1,0 +1,175 @@
+// Tests for the three transpose algorithms under all mapping schemes —
+// correctness, per-phase congestion, and the Lemma 1 DMM times.
+
+#include "transpose/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/factory.hpp"
+
+namespace rapsim::transpose {
+namespace {
+
+using core::Scheme;
+
+// ---- Correctness: every algorithm x scheme x width x seed produces the
+// ---- mathematically correct transpose.
+
+class TransposeCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<Algorithm, Scheme, std::uint32_t>> {};
+
+TEST_P(TransposeCorrectness, ProducesExactTranspose) {
+  const auto [algorithm, scheme, width] = GetParam();
+  for (std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+    const auto report = run_transpose(algorithm, scheme, width, 2, seed);
+    EXPECT_TRUE(report.correct)
+        << algorithm_name(algorithm) << " " << core::scheme_name(scheme)
+        << " w=" << width << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TransposeCorrectness,
+    ::testing::Combine(::testing::Values(Algorithm::kCrsw, Algorithm::kSrcw,
+                                         Algorithm::kDrdw),
+                       ::testing::Values(Scheme::kRaw, Scheme::kRas,
+                                         Scheme::kRap),
+                       ::testing::Values(2u, 4u, 8u, 16u, 32u)),
+    [](const auto& param_info) {
+      return std::string(algorithm_name(std::get<0>(param_info.param))) + "_" +
+             core::scheme_name(std::get<1>(param_info.param)) + "_w" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+// ---- Table III congestion columns (deterministic ones).
+
+TEST(TransposeCongestion, RawCrswIsRead1WriteW) {
+  const auto r = run_transpose(Algorithm::kCrsw, Scheme::kRaw, 32, 1, 1);
+  EXPECT_EQ(r.read.avg, 1.0);
+  EXPECT_EQ(r.write.avg, 32.0);
+}
+
+TEST(TransposeCongestion, RawSrcwIsReadWWrite1) {
+  const auto r = run_transpose(Algorithm::kSrcw, Scheme::kRaw, 32, 1, 1);
+  EXPECT_EQ(r.read.avg, 32.0);
+  EXPECT_EQ(r.write.avg, 1.0);
+}
+
+TEST(TransposeCongestion, RawDrdwIsConflictFree) {
+  const auto r = run_transpose(Algorithm::kDrdw, Scheme::kRaw, 32, 1, 1);
+  EXPECT_EQ(r.read.avg, 1.0);
+  EXPECT_EQ(r.write.avg, 1.0);
+  EXPECT_EQ(r.read.max, 1u);
+  EXPECT_EQ(r.write.max, 1u);
+}
+
+TEST(TransposeCongestion, RapCrswAndSrcwAreConflictFree) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const Algorithm alg : {Algorithm::kCrsw, Algorithm::kSrcw}) {
+      const auto r = run_transpose(alg, Scheme::kRap, 32, 1, seed);
+      EXPECT_EQ(r.read.max, 1u) << algorithm_name(alg) << " seed " << seed;
+      EXPECT_EQ(r.write.max, 1u) << algorithm_name(alg) << " seed " << seed;
+    }
+  }
+}
+
+TEST(TransposeCongestion, RasCrswWriteIsBallsInBins) {
+  // Averaged over seeds, RAS CRSW write congestion approaches ~3.5 at
+  // w = 32 (Table III reports 3.53).
+  double sum = 0;
+  constexpr int kSeeds = 400;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto r = run_transpose(Algorithm::kCrsw, Scheme::kRas, 32, 1,
+                                 static_cast<std::uint64_t>(seed));
+    EXPECT_EQ(r.read.max, 1u);
+    sum += r.write.avg;
+  }
+  EXPECT_NEAR(sum / kSeeds, 3.53, 0.15);
+}
+
+TEST(TransposeCongestion, RapDrdwDiagonalPenalty) {
+  // DRDW is the worst case for RAP; Table III reports 3.61 at w = 32.
+  double read_sum = 0, write_sum = 0;
+  constexpr int kSeeds = 400;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto r = run_transpose(Algorithm::kDrdw, Scheme::kRap, 32, 1,
+                                 static_cast<std::uint64_t>(seed));
+    read_sum += r.read.avg;
+    write_sum += r.write.avg;
+  }
+  EXPECT_NEAR(read_sum / kSeeds, 3.61, 0.15);
+  EXPECT_NEAR(write_sum / kSeeds, 3.61, 0.15);
+}
+
+// ---- Lemma 1: DMM times. CRSW/SRCW are dominated by the stride phase
+// ---- (~w^2 slots); DRDW by 2w conflict-free dispatches.
+
+class Lemma1Times
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(Lemma1Times, RawTimesMatchClosedForms) {
+  const auto [w, l] = GetParam();
+  // CRSW (RAW): w contiguous reads (w slots) then w stride writes (w^2
+  // slots). The first write waits for its read; with w >= 2 warps the
+  // read pipeline is already full, so total time is the read phase (w +
+  // l - 1) ... write phase start depends on overlap; we assert the exact
+  // simulator semantics via bounds: stride slots dominate.
+  const auto crsw = run_transpose(Algorithm::kCrsw, Scheme::kRaw, w, l, 1);
+  EXPECT_EQ(crsw.stats.total_stages, static_cast<std::uint64_t>(w) + w * w);
+  EXPECT_GE(crsw.stats.time, static_cast<std::uint64_t>(w) * w + l - 1);
+  EXPECT_LE(crsw.stats.time, static_cast<std::uint64_t>(w) * w + w + 2 * l);
+
+  const auto srcw = run_transpose(Algorithm::kSrcw, Scheme::kRaw, w, l, 1);
+  EXPECT_EQ(srcw.stats.total_stages, static_cast<std::uint64_t>(w) + w * w);
+
+  // DRDW (RAW): both phases conflict-free -> 2w slots; time is O(w + l).
+  const auto drdw = run_transpose(Algorithm::kDrdw, Scheme::kRaw, w, l, 1);
+  EXPECT_EQ(drdw.stats.total_stages, 2ull * w);
+  EXPECT_LE(drdw.stats.time, 2ull * w + 2 * l + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthLatencySweep, Lemma1Times,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 32u),
+                       ::testing::Values(1u, 4u, 16u)),
+    [](const auto& param_info) {
+      return "w" + std::to_string(std::get<0>(param_info.param)) + "_l" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(TransposeSpeedup, RapBeatsRawOnCrswByAboutTenX) {
+  // The headline claim: naive CRSW under RAP is ~an order of magnitude
+  // faster than under RAW (Table III: 1595 ns vs 154.5 ns on hardware;
+  // on the DMM the ratio is stage-bound, ~(w^2 + w)/(2w)).
+  const auto raw = run_transpose(Algorithm::kCrsw, Scheme::kRaw, 32, 1, 1);
+  double rap_time = 0;
+  constexpr int kSeeds = 50;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    rap_time += static_cast<double>(
+        run_transpose(Algorithm::kCrsw, Scheme::kRap, 32, 1,
+                      static_cast<std::uint64_t>(seed))
+            .stats.time);
+  }
+  rap_time /= kSeeds;
+  EXPECT_GT(static_cast<double>(raw.stats.time) / rap_time, 8.0);
+}
+
+TEST(Runner, TraceSplitsPhases) {
+  const MatrixPair layout{8};
+  const auto map = core::make_matrix_map(Scheme::kRaw, 8, layout.rows(), 1);
+  dmm::Dmm machine(dmm::DmmConfig{8, 1}, *map);
+  dmm::Trace trace;
+  const auto report =
+      run_transpose_on(Algorithm::kCrsw, machine, layout, &trace);
+  EXPECT_TRUE(report.correct);
+  // 8 warps x 2 instructions.
+  EXPECT_EQ(trace.dispatches.size(), 16u);
+  EXPECT_FALSE(trace.to_string().empty());
+}
+
+}  // namespace
+}  // namespace rapsim::transpose

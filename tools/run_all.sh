@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment into results/.
+#
+#   tools/run_all.sh [build-dir]
+#
+# Bench binaries accept --format=csv|markdown|ascii; this script captures
+# the default ascii renderings, one file per experiment, plus combined
+# test and bench logs at the repository root (test_output.txt /
+# bench_output.txt, the names EXPERIMENTS.md references).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+mkdir -p results
+: > bench_output.txt
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ===" | tee -a bench_output.txt
+  "$bench" 2>&1 | tee "results/$name.txt" | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: $(ls results | wc -l) experiment reports in results/"
