@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collision_prob.dir/ablation_collision_prob.cpp.o"
+  "CMakeFiles/ablation_collision_prob.dir/ablation_collision_prob.cpp.o.d"
+  "ablation_collision_prob"
+  "ablation_collision_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collision_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

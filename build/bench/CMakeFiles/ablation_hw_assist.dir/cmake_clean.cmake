@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hw_assist.dir/ablation_hw_assist.cpp.o"
+  "CMakeFiles/ablation_hw_assist.dir/ablation_hw_assist.cpp.o.d"
+  "ablation_hw_assist"
+  "ablation_hw_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

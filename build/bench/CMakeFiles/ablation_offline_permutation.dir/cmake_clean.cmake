@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_offline_permutation.dir/ablation_offline_permutation.cpp.o"
+  "CMakeFiles/ablation_offline_permutation.dir/ablation_offline_permutation.cpp.o.d"
+  "ablation_offline_permutation"
+  "ablation_offline_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offline_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_padding_vs_rap.dir/ablation_padding_vs_rap.cpp.o"
+  "CMakeFiles/ablation_padding_vs_rap.dir/ablation_padding_vs_rap.cpp.o.d"
+  "ablation_padding_vs_rap"
+  "ablation_padding_vs_rap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_padding_vs_rap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

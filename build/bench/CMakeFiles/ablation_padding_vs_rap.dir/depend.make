@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_padding_vs_rap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_stride.dir/ablation_power_stride.cpp.o"
+  "CMakeFiles/ablation_power_stride.dir/ablation_power_stride.cpp.o.d"
+  "ablation_power_stride"
+  "ablation_power_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

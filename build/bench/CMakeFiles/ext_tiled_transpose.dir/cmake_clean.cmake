@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tiled_transpose.dir/ext_tiled_transpose.cpp.o"
+  "CMakeFiles/ext_tiled_transpose.dir/ext_tiled_transpose.cpp.o.d"
+  "ext_tiled_transpose"
+  "ext_tiled_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tiled_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

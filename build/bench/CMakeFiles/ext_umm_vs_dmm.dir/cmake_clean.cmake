@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_umm_vs_dmm.dir/ext_umm_vs_dmm.cpp.o"
+  "CMakeFiles/ext_umm_vs_dmm.dir/ext_umm_vs_dmm.cpp.o.d"
+  "ext_umm_vs_dmm"
+  "ext_umm_vs_dmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_umm_vs_dmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

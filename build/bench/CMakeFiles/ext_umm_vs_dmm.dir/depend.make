@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_umm_vs_dmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_architectures.dir/fig1_architectures.cpp.o"
+  "CMakeFiles/fig1_architectures.dir/fig1_architectures.cpp.o.d"
+  "fig1_architectures"
+  "fig1_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

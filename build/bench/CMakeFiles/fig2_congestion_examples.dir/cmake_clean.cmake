@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_congestion_examples.dir/fig2_congestion_examples.cpp.o"
+  "CMakeFiles/fig2_congestion_examples.dir/fig2_congestion_examples.cpp.o.d"
+  "fig2_congestion_examples"
+  "fig2_congestion_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_congestion_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_access_patterns.dir/fig4_access_patterns.cpp.o"
+  "CMakeFiles/fig4_access_patterns.dir/fig4_access_patterns.cpp.o.d"
+  "fig4_access_patterns"
+  "fig4_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

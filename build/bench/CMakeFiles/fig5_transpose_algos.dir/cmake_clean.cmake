@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_transpose_algos.dir/fig5_transpose_algos.cpp.o"
+  "CMakeFiles/fig5_transpose_algos.dir/fig5_transpose_algos.cpp.o.d"
+  "fig5_transpose_algos"
+  "fig5_transpose_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_transpose_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rap_example.dir/fig6_rap_example.cpp.o"
+  "CMakeFiles/fig6_rap_example.dir/fig6_rap_example.cpp.o.d"
+  "fig6_rap_example"
+  "fig6_rap_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rap_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_register_packing.dir/fig7_register_packing.cpp.o"
+  "CMakeFiles/fig7_register_packing.dir/fig7_register_packing.cpp.o.d"
+  "fig7_register_packing"
+  "fig7_register_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_register_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

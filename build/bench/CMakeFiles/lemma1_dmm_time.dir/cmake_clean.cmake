@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_dmm_time.dir/lemma1_dmm_time.cpp.o"
+  "CMakeFiles/lemma1_dmm_time.dir/lemma1_dmm_time.cpp.o.d"
+  "lemma1_dmm_time"
+  "lemma1_dmm_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_dmm_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mapping_overhead.dir/micro_mapping_overhead.cpp.o"
+  "CMakeFiles/micro_mapping_overhead.dir/micro_mapping_overhead.cpp.o.d"
+  "micro_mapping_overhead"
+  "micro_mapping_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mapping_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_congestion_sim.dir/table2_congestion_sim.cpp.o"
+  "CMakeFiles/table2_congestion_sim.dir/table2_congestion_sim.cpp.o.d"
+  "table2_congestion_sim"
+  "table2_congestion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_congestion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

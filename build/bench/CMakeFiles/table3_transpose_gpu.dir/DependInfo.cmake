@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_transpose_gpu.cpp" "bench/CMakeFiles/table3_transpose_gpu.dir/table3_transpose_gpu.cpp.o" "gcc" "bench/CMakeFiles/table3_transpose_gpu.dir/table3_transpose_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/access/CMakeFiles/rapsim_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpose/CMakeFiles/rapsim_transpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/rapsim_permute.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/rapsim_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rapsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rapsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmm/CMakeFiles/rapsim_dmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_transpose_gpu.dir/table3_transpose_gpu.cpp.o"
+  "CMakeFiles/table3_transpose_gpu.dir/table3_transpose_gpu.cpp.o.d"
+  "table3_transpose_gpu"
+  "table3_transpose_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_transpose_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

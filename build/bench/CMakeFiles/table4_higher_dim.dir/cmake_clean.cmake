@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_higher_dim.dir/table4_higher_dim.cpp.o"
+  "CMakeFiles/table4_higher_dim.dir/table4_higher_dim.cpp.o.d"
+  "table4_higher_dim"
+  "table4_higher_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_higher_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

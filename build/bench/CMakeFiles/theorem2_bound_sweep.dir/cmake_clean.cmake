@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem2_bound_sweep.dir/theorem2_bound_sweep.cpp.o"
+  "CMakeFiles/theorem2_bound_sweep.dir/theorem2_bound_sweep.cpp.o.d"
+  "theorem2_bound_sweep"
+  "theorem2_bound_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem2_bound_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

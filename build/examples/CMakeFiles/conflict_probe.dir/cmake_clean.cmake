@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_probe.dir/conflict_probe.cpp.o"
+  "CMakeFiles/conflict_probe.dir/conflict_probe.cpp.o.d"
+  "conflict_probe"
+  "conflict_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

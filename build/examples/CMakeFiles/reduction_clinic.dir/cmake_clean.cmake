@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_clinic.dir/reduction_clinic.cpp.o"
+  "CMakeFiles/reduction_clinic.dir/reduction_clinic.cpp.o.d"
+  "reduction_clinic"
+  "reduction_clinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_clinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

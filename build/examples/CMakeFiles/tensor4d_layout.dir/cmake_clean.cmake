@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor4d_layout.dir/tensor4d_layout.cpp.o"
+  "CMakeFiles/tensor4d_layout.dir/tensor4d_layout.cpp.o.d"
+  "tensor4d_layout"
+  "tensor4d_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor4d_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_workbench.dir/transpose_workbench.cpp.o"
+  "CMakeFiles/transpose_workbench.dir/transpose_workbench.cpp.o.d"
+  "transpose_workbench"
+  "transpose_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

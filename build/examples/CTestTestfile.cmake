@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--width=8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transpose_workbench "/root/repo/build/examples/transpose_workbench" "--width=8" "--seeds=5")
+set_tests_properties(example_transpose_workbench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conflict_probe_cells "/root/repo/build/examples/conflict_probe" "--cells=0:0,1:0,2:0,3:0" "--width=4")
+set_tests_properties(example_conflict_probe_cells PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conflict_probe_pattern "/root/repo/build/examples/conflict_probe" "--pattern=stride" "--width=8" "--trials=200")
+set_tests_properties(example_conflict_probe_pattern PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tensor4d_layout "/root/repo/build/examples/tensor4d_layout" "--width=8" "--trials=100")
+set_tests_properties(example_tensor4d_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reduction_clinic "/root/repo/build/examples/reduction_clinic" "--n=256" "--width=8")
+set_tests_properties(example_reduction_clinic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

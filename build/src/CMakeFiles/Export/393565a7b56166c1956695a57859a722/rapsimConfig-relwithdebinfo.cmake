@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "rapsim::rapsim_util" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_util )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_util "${_IMPORT_PREFIX}/lib/librapsim_util.a" )
+
+# Import target "rapsim::rapsim_core" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_core )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_core "${_IMPORT_PREFIX}/lib/librapsim_core.a" )
+
+# Import target "rapsim::rapsim_dmm" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_dmm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_dmm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_dmm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_dmm )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_dmm "${_IMPORT_PREFIX}/lib/librapsim_dmm.a" )
+
+# Import target "rapsim::rapsim_access" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_access APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_access PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_access.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_access )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_access "${_IMPORT_PREFIX}/lib/librapsim_access.a" )
+
+# Import target "rapsim::rapsim_transpose" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_transpose APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_transpose PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_transpose.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_transpose )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_transpose "${_IMPORT_PREFIX}/lib/librapsim_transpose.a" )
+
+# Import target "rapsim::rapsim_permute" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_permute APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_permute PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_permute.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_permute )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_permute "${_IMPORT_PREFIX}/lib/librapsim_permute.a" )
+
+# Import target "rapsim::rapsim_hmm" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_hmm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_hmm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_hmm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_hmm )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_hmm "${_IMPORT_PREFIX}/lib/librapsim_hmm.a" )
+
+# Import target "rapsim::rapsim_workloads" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_workloads APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_workloads PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_workloads.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_workloads )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_workloads "${_IMPORT_PREFIX}/lib/librapsim_workloads.a" )
+
+# Import target "rapsim::rapsim_gpu" for configuration "RelWithDebInfo"
+set_property(TARGET rapsim::rapsim_gpu APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rapsim::rapsim_gpu PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librapsim_gpu.a"
+  )
+
+list(APPEND _cmake_import_check_targets rapsim::rapsim_gpu )
+list(APPEND _cmake_import_check_files_for_rapsim::rapsim_gpu "${_IMPORT_PREFIX}/lib/librapsim_gpu.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

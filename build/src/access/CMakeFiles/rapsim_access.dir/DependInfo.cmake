@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/adversary.cpp" "src/access/CMakeFiles/rapsim_access.dir/adversary.cpp.o" "gcc" "src/access/CMakeFiles/rapsim_access.dir/adversary.cpp.o.d"
+  "/root/repo/src/access/advisor.cpp" "src/access/CMakeFiles/rapsim_access.dir/advisor.cpp.o" "gcc" "src/access/CMakeFiles/rapsim_access.dir/advisor.cpp.o.d"
+  "/root/repo/src/access/montecarlo.cpp" "src/access/CMakeFiles/rapsim_access.dir/montecarlo.cpp.o" "gcc" "src/access/CMakeFiles/rapsim_access.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/access/pattern2d.cpp" "src/access/CMakeFiles/rapsim_access.dir/pattern2d.cpp.o" "gcc" "src/access/CMakeFiles/rapsim_access.dir/pattern2d.cpp.o.d"
+  "/root/repo/src/access/pattern4d.cpp" "src/access/CMakeFiles/rapsim_access.dir/pattern4d.cpp.o" "gcc" "src/access/CMakeFiles/rapsim_access.dir/pattern4d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rapsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

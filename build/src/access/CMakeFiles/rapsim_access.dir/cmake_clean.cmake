@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_access.dir/adversary.cpp.o"
+  "CMakeFiles/rapsim_access.dir/adversary.cpp.o.d"
+  "CMakeFiles/rapsim_access.dir/advisor.cpp.o"
+  "CMakeFiles/rapsim_access.dir/advisor.cpp.o.d"
+  "CMakeFiles/rapsim_access.dir/montecarlo.cpp.o"
+  "CMakeFiles/rapsim_access.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/rapsim_access.dir/pattern2d.cpp.o"
+  "CMakeFiles/rapsim_access.dir/pattern2d.cpp.o.d"
+  "CMakeFiles/rapsim_access.dir/pattern4d.cpp.o"
+  "CMakeFiles/rapsim_access.dir/pattern4d.cpp.o.d"
+  "librapsim_access.a"
+  "librapsim_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

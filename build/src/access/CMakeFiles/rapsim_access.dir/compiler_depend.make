@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rapsim_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/congestion.cpp" "src/core/CMakeFiles/rapsim_core.dir/congestion.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/congestion.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/rapsim_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/rapsim_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/mapping2d.cpp" "src/core/CMakeFiles/rapsim_core.dir/mapping2d.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/mapping2d.cpp.o.d"
+  "/root/repo/src/core/mapping4d.cpp" "src/core/CMakeFiles/rapsim_core.dir/mapping4d.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/mapping4d.cpp.o.d"
+  "/root/repo/src/core/mappingnd.cpp" "src/core/CMakeFiles/rapsim_core.dir/mappingnd.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/mappingnd.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/core/CMakeFiles/rapsim_core.dir/permutation.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/permutation.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/rapsim_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/rapsim_core.dir/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_core.dir/congestion.cpp.o"
+  "CMakeFiles/rapsim_core.dir/congestion.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/factory.cpp.o"
+  "CMakeFiles/rapsim_core.dir/factory.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/mapping.cpp.o"
+  "CMakeFiles/rapsim_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/mapping2d.cpp.o"
+  "CMakeFiles/rapsim_core.dir/mapping2d.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/mapping4d.cpp.o"
+  "CMakeFiles/rapsim_core.dir/mapping4d.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/mappingnd.cpp.o"
+  "CMakeFiles/rapsim_core.dir/mappingnd.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/permutation.cpp.o"
+  "CMakeFiles/rapsim_core.dir/permutation.cpp.o.d"
+  "CMakeFiles/rapsim_core.dir/theory.cpp.o"
+  "CMakeFiles/rapsim_core.dir/theory.cpp.o.d"
+  "librapsim_core.a"
+  "librapsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

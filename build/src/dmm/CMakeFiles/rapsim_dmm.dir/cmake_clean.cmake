@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_dmm.dir/machine.cpp.o"
+  "CMakeFiles/rapsim_dmm.dir/machine.cpp.o.d"
+  "CMakeFiles/rapsim_dmm.dir/trace.cpp.o"
+  "CMakeFiles/rapsim_dmm.dir/trace.cpp.o.d"
+  "librapsim_dmm.a"
+  "librapsim_dmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_dmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/grid.cpp" "src/gpu/CMakeFiles/rapsim_gpu.dir/grid.cpp.o" "gcc" "src/gpu/CMakeFiles/rapsim_gpu.dir/grid.cpp.o.d"
+  "/root/repo/src/gpu/register_pack.cpp" "src/gpu/CMakeFiles/rapsim_gpu.dir/register_pack.cpp.o" "gcc" "src/gpu/CMakeFiles/rapsim_gpu.dir/register_pack.cpp.o.d"
+  "/root/repo/src/gpu/sm_model.cpp" "src/gpu/CMakeFiles/rapsim_gpu.dir/sm_model.cpp.o" "gcc" "src/gpu/CMakeFiles/rapsim_gpu.dir/sm_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmm/CMakeFiles/rapsim_dmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_gpu.dir/grid.cpp.o"
+  "CMakeFiles/rapsim_gpu.dir/grid.cpp.o.d"
+  "CMakeFiles/rapsim_gpu.dir/register_pack.cpp.o"
+  "CMakeFiles/rapsim_gpu.dir/register_pack.cpp.o.d"
+  "CMakeFiles/rapsim_gpu.dir/sm_model.cpp.o"
+  "CMakeFiles/rapsim_gpu.dir/sm_model.cpp.o.d"
+  "librapsim_gpu.a"
+  "librapsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

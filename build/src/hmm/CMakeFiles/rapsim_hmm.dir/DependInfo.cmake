@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/hmm.cpp" "src/hmm/CMakeFiles/rapsim_hmm.dir/hmm.cpp.o" "gcc" "src/hmm/CMakeFiles/rapsim_hmm.dir/hmm.cpp.o.d"
+  "/root/repo/src/hmm/tiled_transpose.cpp" "src/hmm/CMakeFiles/rapsim_hmm.dir/tiled_transpose.cpp.o" "gcc" "src/hmm/CMakeFiles/rapsim_hmm.dir/tiled_transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmm/CMakeFiles/rapsim_dmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

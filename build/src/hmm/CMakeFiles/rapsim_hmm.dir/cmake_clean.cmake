@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_hmm.dir/hmm.cpp.o"
+  "CMakeFiles/rapsim_hmm.dir/hmm.cpp.o.d"
+  "CMakeFiles/rapsim_hmm.dir/tiled_transpose.cpp.o"
+  "CMakeFiles/rapsim_hmm.dir/tiled_transpose.cpp.o.d"
+  "librapsim_hmm.a"
+  "librapsim_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

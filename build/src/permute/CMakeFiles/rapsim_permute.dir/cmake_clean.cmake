@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_permute.dir/offline.cpp.o"
+  "CMakeFiles/rapsim_permute.dir/offline.cpp.o.d"
+  "librapsim_permute.a"
+  "librapsim_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

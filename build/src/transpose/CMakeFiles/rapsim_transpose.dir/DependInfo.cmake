@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpose/algorithms.cpp" "src/transpose/CMakeFiles/rapsim_transpose.dir/algorithms.cpp.o" "gcc" "src/transpose/CMakeFiles/rapsim_transpose.dir/algorithms.cpp.o.d"
+  "/root/repo/src/transpose/runner.cpp" "src/transpose/CMakeFiles/rapsim_transpose.dir/runner.cpp.o" "gcc" "src/transpose/CMakeFiles/rapsim_transpose.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmm/CMakeFiles/rapsim_dmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

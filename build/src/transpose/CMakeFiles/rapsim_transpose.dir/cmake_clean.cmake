@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_transpose.dir/algorithms.cpp.o"
+  "CMakeFiles/rapsim_transpose.dir/algorithms.cpp.o.d"
+  "CMakeFiles/rapsim_transpose.dir/runner.cpp.o"
+  "CMakeFiles/rapsim_transpose.dir/runner.cpp.o.d"
+  "librapsim_transpose.a"
+  "librapsim_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_util.dir/cli.cpp.o"
+  "CMakeFiles/rapsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rapsim_util.dir/parallel.cpp.o"
+  "CMakeFiles/rapsim_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/rapsim_util.dir/stats.cpp.o"
+  "CMakeFiles/rapsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rapsim_util.dir/table.cpp.o"
+  "CMakeFiles/rapsim_util.dir/table.cpp.o.d"
+  "librapsim_util.a"
+  "librapsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitonic.cpp" "src/workloads/CMakeFiles/rapsim_workloads.dir/bitonic.cpp.o" "gcc" "src/workloads/CMakeFiles/rapsim_workloads.dir/bitonic.cpp.o.d"
+  "/root/repo/src/workloads/histogram.cpp" "src/workloads/CMakeFiles/rapsim_workloads.dir/histogram.cpp.o" "gcc" "src/workloads/CMakeFiles/rapsim_workloads.dir/histogram.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/workloads/CMakeFiles/rapsim_workloads.dir/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/rapsim_workloads.dir/matmul.cpp.o.d"
+  "/root/repo/src/workloads/reduction.cpp" "src/workloads/CMakeFiles/rapsim_workloads.dir/reduction.cpp.o" "gcc" "src/workloads/CMakeFiles/rapsim_workloads.dir/reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmm/CMakeFiles/rapsim_dmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rapsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapsim_workloads.dir/bitonic.cpp.o"
+  "CMakeFiles/rapsim_workloads.dir/bitonic.cpp.o.d"
+  "CMakeFiles/rapsim_workloads.dir/histogram.cpp.o"
+  "CMakeFiles/rapsim_workloads.dir/histogram.cpp.o.d"
+  "CMakeFiles/rapsim_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/rapsim_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/rapsim_workloads.dir/reduction.cpp.o"
+  "CMakeFiles/rapsim_workloads.dir/reduction.cpp.o.d"
+  "librapsim_workloads.a"
+  "librapsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

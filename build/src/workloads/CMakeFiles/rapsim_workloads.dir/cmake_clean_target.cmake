@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librapsim_workloads.a"
+)

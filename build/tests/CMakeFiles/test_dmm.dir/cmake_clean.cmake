@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmm.dir/dmm_test.cpp.o"
+  "CMakeFiles/test_dmm.dir/dmm_test.cpp.o.d"
+  "test_dmm"
+  "test_dmm.pdb"
+  "test_dmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping4d.dir/mapping4d_test.cpp.o"
+  "CMakeFiles/test_mapping4d.dir/mapping4d_test.cpp.o.d"
+  "test_mapping4d"
+  "test_mapping4d.pdb"
+  "test_mapping4d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mappingnd.dir/mappingnd_test.cpp.o"
+  "CMakeFiles/test_mappingnd.dir/mappingnd_test.cpp.o.d"
+  "test_mappingnd"
+  "test_mappingnd.pdb"
+  "test_mappingnd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mappingnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

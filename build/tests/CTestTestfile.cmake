@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_permutation[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping2d[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping4d[1]_include.cmake")
+include("/root/repo/build/tests/test_congestion[1]_include.cmake")
+include("/root/repo/build/tests/test_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_dmm[1]_include.cmake")
+include("/root/repo/build/tests/test_access[1]_include.cmake")
+include("/root/repo/build/tests/test_transpose[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_permute[1]_include.cmake")
+include("/root/repo/build/tests/test_hmm[1]_include.cmake")
+include("/root/repo/build/tests/test_mappingnd[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_barrier[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
