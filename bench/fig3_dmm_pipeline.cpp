@@ -4,14 +4,24 @@
 // 7 and 15 collide in bank 3, so the warp occupies two pipeline stages.
 // W(1) accesses {10, 11, 12, 9}: conflict-free, one stage. The three
 // stages plus the 5-stage pipeline finish at time 3 + 5 - 1 = 7.
+//
+//   $ fig3_dmm_pipeline [--chrome-trace=PATH]
+//
+// --chrome-trace writes the dispatch timeline in Trace Event Format;
+// open the file in https://ui.perfetto.dev (or chrome://tracing) to see
+// the two warp tracks, the three pipeline slots, and completion at t = 7.
 
 #include <cstdio>
+#include <fstream>
 
 #include "core/mapping2d.hpp"
 #include "dmm/machine.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rapsim;
+  const util::CliArgs args(argc, argv);
   constexpr std::uint32_t kWidth = 4, kLatency = 5;
 
   core::RawMap map(kWidth, 16 / kWidth);
@@ -39,6 +49,17 @@ int main() {
               static_cast<unsigned long long>(stats.total_stages));
   std::printf("completion time:       %llu (paper: 3 + 5 - 1 = 7)\n",
               static_cast<unsigned long long>(stats.time));
+
+  if (const auto path = args.get("chrome-trace")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    out << telemetry::to_chrome_trace(trace) << '\n';
+    std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                path->c_str());
+  }
 
   const bool ok = stats.total_stages == 3 && stats.time == 7;
   std::printf("%s\n", ok ? "reproduces the paper" : "MISMATCH");

@@ -15,6 +15,7 @@
 #include "core/congestion.hpp"
 #include "core/factory.hpp"
 #include "gpu/register_pack.hpp"
+#include "telemetry/run_telemetry.hpp"
 #include "transpose/runner.hpp"
 #include "util/rng.hpp"
 
@@ -102,6 +103,33 @@ void BM_DmmTransposeRun(benchmark::State& state) {
                           w);
 }
 BENCHMARK(BM_DmmTransposeRun)->Arg(8)->Arg(32);
+
+// Telemetry overhead check: the same pre-constructed machine run with and
+// without a RunTelemetry sink (second arg 0 = null sink, 1 = instrumented).
+// The null-sink run takes one predictable branch per event and must stay
+// within noise of the pre-telemetry machine; the instrumented run should
+// cost only a few percent more.
+void BM_DmmTransposeRunTelemetry(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  const bool instrumented = state.range(1) != 0;
+  const transpose::MatrixPair layout{w};
+  const auto map =
+      core::make_matrix_map(core::Scheme::kRap, w, layout.rows(), 1);
+  dmm::Dmm machine(dmm::DmmConfig{w, 1}, *map);
+  telemetry::RunTelemetry sink;
+  machine.set_telemetry(instrumented ? &sink : nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose::run_transpose_on(
+        transpose::Algorithm::kCrsw, machine, layout));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * w *
+                          w);
+}
+BENCHMARK(BM_DmmTransposeRunTelemetry)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
 
 }  // namespace
 

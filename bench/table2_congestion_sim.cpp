@@ -11,14 +11,79 @@
 // Random          2.92 3.44 3.90 4.34 4.75 (same for all three schemes)
 //
 //   $ table2_congestion_sim [--widths=16,32,64,128,256] [--trials=20000]
+//
+// With --format=json the binary instead emits one machine-readable
+// document (schema below) carrying, per (scheme, pattern, width) cell,
+// the mean/ci95, the exact congestion percentiles p50/p95/p99, and the
+// per-bank unique-request totals — the stable schema tools/run_all.sh
+// archives under results/metrics/ and tools/check_metrics_schema.sh
+// validates.
 
 #include <cstdio>
 #include <iostream>
 
 #include "access/montecarlo.hpp"
 #include "core/factory.hpp"
+#include "telemetry/json.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// results[] cell schema: scheme, pattern, width, congestion{mean, ci95,
+/// min, max, p50, p95, p99}, bank_requests[width].
+int emit_json(const std::vector<std::uint64_t>& widths, std::uint64_t trials,
+              std::uint64_t seed) {
+  using namespace rapsim;
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.kv("schema_version", 1);
+  json.kv("experiment", "table2_congestion_sim");
+  json.key("units").begin_object();
+  json.kv("congestion", "pipeline slots per warp access");
+  json.kv("bank_requests", "unique requests summed over trials");
+  json.end_object();
+  json.key("config").begin_object();
+  json.key("widths").begin_array();
+  for (const auto w : widths) json.value(w);
+  json.end_array();
+  json.kv("trials", trials);
+  json.kv("seed", seed);
+  json.end_object();
+
+  json.key("results").begin_array();
+  for (const core::Scheme scheme : core::table2_schemes()) {
+    for (const access::Pattern2d pattern : access::table2_patterns()) {
+      for (const auto w : widths) {
+        const auto profile = access::profile_congestion_2d(
+            scheme, pattern, static_cast<std::uint32_t>(w), trials, seed);
+        json.begin_object();
+        json.kv("scheme", core::scheme_name(scheme));
+        json.kv("pattern", access::pattern2d_name(pattern));
+        json.kv("width", w);
+        json.key("congestion").begin_object();
+        json.kv("mean", profile.estimate.mean);
+        json.kv("ci95", profile.estimate.ci95);
+        json.kv("min", static_cast<std::uint64_t>(profile.estimate.min));
+        json.kv("max", static_cast<std::uint64_t>(profile.estimate.max));
+        json.kv("p50", profile.distribution.percentile(50.0));
+        json.kv("p95", profile.distribution.percentile(95.0));
+        json.kv("p99", profile.distribution.percentile(99.0));
+        json.end_object();
+        json.key("bank_requests").begin_array();
+        for (const std::uint64_t c : profile.bank_requests) json.value(c);
+        json.end_array();
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rapsim;
@@ -27,6 +92,8 @@ int main(int argc, char** argv) {
       args.get_uint_list("widths", {16, 32, 64, 128, 256});
   const std::uint64_t trials = args.get_uint("trials", 20000);
   const std::uint64_t seed = args.get_uint("seed", 20140811);
+
+  if (args.wants_json()) return emit_json(widths, trials, seed);
 
   std::printf(
       "== Table II: congestion of memory access to a w x w matrix "

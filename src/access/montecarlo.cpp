@@ -95,6 +95,34 @@ util::Tally congestion_distribution_2d(core::Scheme scheme,
   return tally;
 }
 
+CongestionProfile profile_congestion_2d(core::Scheme scheme,
+                                        Pattern2d pattern, std::uint32_t width,
+                                        std::uint64_t trials,
+                                        std::uint64_t seed) {
+  CongestionProfile profile;
+  profile.bank_requests.assign(width, 0);
+  util::OnlineStats stats;
+  util::Pcg32 rng(seed ^ 0x64697374ull, 0);  // congestion_distribution_2d's stream
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t map_seed = seed * 0x9e3779b97f4a7c15ull + t + 1;
+    const auto map = core::make_matrix_map(scheme, width, width, map_seed);
+    const std::uint32_t warp = rng.bounded(width);
+    const auto addrs = warp_addresses_2d(pattern, *map, warp, rng);
+    const auto result = core::congestion_of_logical(addrs, *map);
+    profile.distribution.add(result.congestion);
+    stats.add(result.congestion);
+    for (std::uint32_t b = 0; b < width; ++b) {
+      profile.bank_requests[b] += result.per_bank[b];
+    }
+  }
+  profile.estimate.mean = stats.mean();
+  profile.estimate.ci95 = stats.ci95();
+  profile.estimate.min = static_cast<std::uint32_t>(profile.distribution.min());
+  profile.estimate.max = static_cast<std::uint32_t>(profile.distribution.max());
+  profile.estimate.trials = stats.count();
+  return profile;
+}
+
 CongestionEstimate estimate_congestion_4d(core::Scheme scheme,
                                           Pattern4d pattern,
                                           std::uint32_t width,

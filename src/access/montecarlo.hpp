@@ -48,4 +48,21 @@ struct CongestionEstimate {
                                                      std::uint64_t trials,
                                                      std::uint64_t seed);
 
+/// Everything the JSON exporter reports for one Table II cell in a single
+/// deterministic sweep: moment statistics, the exact congestion histogram
+/// (for p50/p95/p99), and per-bank unique-request totals summed over all
+/// trials. Same sampling as congestion_distribution_2d (single-threaded,
+/// identical seeding), so `distribution` matches it sample-for-sample.
+struct CongestionProfile {
+  CongestionEstimate estimate;
+  util::Tally distribution;
+  std::vector<std::uint64_t> bank_requests;  // one total per bank
+};
+
+[[nodiscard]] CongestionProfile profile_congestion_2d(core::Scheme scheme,
+                                                      Pattern2d pattern,
+                                                      std::uint32_t width,
+                                                      std::uint64_t trials,
+                                                      std::uint64_t seed);
+
 }  // namespace rapsim::access

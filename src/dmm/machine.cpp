@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "telemetry/run_telemetry.hpp"
+
 namespace rapsim::dmm {
 
 void Kernel::push(Instruction instr) {
@@ -113,6 +115,10 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
                                       kRegistersPerThread +
                                   op.reg];
       ++result.unique_requests;
+      if (telemetry_) {
+        ++telemetry_->bank_requests[static_cast<std::size_t>(phys %
+                                                             config_.width)];
+      }
       if (config_.kind == MachineKind::kDmm) {
         const auto bank = static_cast<std::size_t>(phys % config_.width);
         result.congestion = std::max(result.congestion, ++per_bank[bank]);
@@ -129,6 +135,11 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
       // issue order (no row sorting — atomics are not broadcastable).
       result.congestion = static_cast<std::uint32_t>(
           std::max<std::uint64_t>(rows_touched, result.active_threads));
+    } else if (telemetry_) {
+      for (std::size_t b = 0; b < per_bank.size(); ++b) {
+        telemetry_->bank_peak[b] =
+            std::max<std::uint64_t>(telemetry_->bank_peak[b], per_bank[b]);
+      }
     }
     return result;
   }
@@ -196,12 +207,24 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
   }
 
   result.unique_requests = static_cast<std::uint32_t>(unique_addrs.size());
+  if (telemetry_) {
+    for (const std::uint64_t addr : unique_addrs) {
+      ++telemetry_->bank_requests[static_cast<std::size_t>(addr %
+                                                           config_.width)];
+    }
+  }
   if (config_.kind == MachineKind::kDmm) {
     // DMM: one pipeline slot carries at most one request per bank.
     std::vector<std::uint32_t> per_bank(config_.width, 0);
     for (const std::uint64_t addr : unique_addrs) {
       const auto bank = static_cast<std::size_t>(addr % config_.width);
       result.congestion = std::max(result.congestion, ++per_bank[bank]);
+    }
+    if (telemetry_) {
+      for (std::size_t b = 0; b < per_bank.size(); ++b) {
+        telemetry_->bank_peak[b] =
+            std::max<std::uint64_t>(telemetry_->bank_peak[b], per_bank[b]);
+      }
     }
   } else {
     // UMM: one pipeline slot broadcasts one memory row to all banks.
@@ -223,6 +246,7 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
   registers_.assign(
       static_cast<std::size_t>(kernel.num_threads) * kRegistersPerThread, 0);
   if (trace) trace->clear();
+  if (telemetry_) telemetry_->reset(config_.width);
 
   const std::uint32_t w = config_.width;
   const std::uint32_t num_warps = (kernel.num_threads + w - 1) / w;
@@ -287,6 +311,9 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
       if (any_non_barrier) {
         // All runnable warps are still waiting on outstanding requests;
         // the pipeline idles until the first becomes ready.
+        if (telemetry_) {
+          telemetry_->pipeline_idle_slots += min_ready - pipeline_next;
+        }
         pipeline_next = min_ready;
         continue;
       }
@@ -340,6 +367,15 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
     congestion_sum += stages;
     ++stats.dispatches;
     last_completion = std::max(last_completion, completion);
+
+    if (telemetry_) {
+      telemetry_->congestion.add(stages);
+      ++telemetry_->dispatches;
+      telemetry_->total_slots += stages;
+      // The warp was eligible from ready[chosen]; any gap to the dispatch
+      // slot is round-robin queueing delay.
+      telemetry_->warp_stall_slots += start - ready[chosen];
+    }
 
     pipeline_next = start + stages;
     ready[chosen] = completion + 1;

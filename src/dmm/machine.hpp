@@ -43,6 +43,10 @@
 #include "dmm/kernel.hpp"
 #include "dmm/trace.hpp"
 
+namespace rapsim::telemetry {
+struct RunTelemetry;
+}
+
 namespace rapsim::dmm {
 
 /// Aggregate results of one kernel execution.
@@ -75,6 +79,18 @@ class Dmm {
   /// one DispatchRecord per dispatched warp-instruction.
   RunStats run(const Kernel& kernel, Trace* trace = nullptr);
 
+  /// Install (or clear, with nullptr) a telemetry sink. While installed,
+  /// every run() resets it and then feeds per-bank unique-request counts,
+  /// the congestion histogram, warp stall slots, and pipeline idle slots.
+  /// The null default costs one predictable branch per event — run() with
+  /// no sink stays within noise of the pre-telemetry machine.
+  void set_telemetry(telemetry::RunTelemetry* sink) noexcept {
+    telemetry_ = sink;
+  }
+  [[nodiscard]] telemetry::RunTelemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
   [[nodiscard]] const DmmConfig& config() const noexcept { return config_; }
   [[nodiscard]] const core::AddressMap& map() const noexcept { return map_; }
   [[nodiscard]] std::uint64_t memory_size() const noexcept {
@@ -86,6 +102,7 @@ class Dmm {
   const core::AddressMap& map_;
   std::vector<std::uint64_t> memory_;     // physical layout
   std::vector<std::uint64_t> registers_;  // one accumulator per thread
+  telemetry::RunTelemetry* telemetry_ = nullptr;  // optional, not owned
 
   /// Execute the data movement of one warp-instruction and return its
   /// congestion (pipeline slots) and unique-request count.

@@ -1,0 +1,37 @@
+// chrome://tracing export of a DMM execution trace.
+//
+// Converts a dmm::Trace into the Trace Event Format JSON that Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing load directly. One
+// timeline track per warp; per dispatch:
+//
+//   * a complete ("X") event over the warp's pipeline slots
+//     [start, start + stages) named "i<instr> c<congestion>", carrying
+//     the full DispatchRecord in args;
+//   * optionally a "latency" event over (start + stages, completion],
+//     so the memory-latency tail is visible and the track visually ends
+//     at the paper's completion time (Figure 3: t = 7);
+//   * optionally a "congestion" counter ("C") event at the dispatch slot.
+//
+// Time units are pipeline slots rendered as microseconds (the format has
+// no dimensionless unit); only relative positions are meaningful.
+
+#pragma once
+
+#include <string>
+
+#include "dmm/trace.hpp"
+
+namespace rapsim::telemetry {
+
+struct ChromeTraceOptions {
+  std::string process_name = "rapsim dmm";
+  bool latency_spans = true;        // show the l-slot memory latency tail
+  bool congestion_counter = true;   // emit a congestion counter track
+};
+
+/// Render `trace` as a Trace Event Format document:
+/// {"traceEvents":[...], "displayTimeUnit":"ms"}.
+[[nodiscard]] std::string to_chrome_trace(const dmm::Trace& trace,
+                                          const ChromeTraceOptions& options = {});
+
+}  // namespace rapsim::telemetry

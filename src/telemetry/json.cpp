@@ -1,0 +1,164 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rapsim::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: object member requires a key first");
+    }
+    key_pending_ = false;
+  } else {
+    if (!top.first) raw(",");
+    top.first = false;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty() || !stack_.back().is_object) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: key already pending");
+  Frame& top = stack_.back();
+  if (!top.first) raw(",");
+  top.first = false;
+  raw("\"");
+  raw(json_escape(k));
+  raw("\":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back({true, true});
+  raw("{");
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || !stack_.back().is_object || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  stack_.pop_back();
+  raw("}");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back({false, true});
+  raw("[");
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().is_object) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  stack_.pop_back();
+  raw("]");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  raw("\"");
+  raw(json_escape(v));
+  raw("\"");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  raw(v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    raw("null");
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    raw(buf);
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(std::string_view serialized_json) {
+  before_value();
+  raw(serialized_json);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_ && !stack_.empty()) {
+    throw std::logic_error("JsonWriter: str() with open containers");
+  }
+  return out_;
+}
+
+}  // namespace rapsim::telemetry

@@ -1,0 +1,74 @@
+// Minimal streaming JSON writer for the telemetry exporters.
+//
+// The repository takes no third-party JSON dependency; the exporters
+// (metrics registry, chrome://tracing, the bench --format=json paths) only
+// ever *write* JSON, so a small push-style writer with correct string
+// escaping and a structural-validity state machine is all that is needed.
+// Keys and values are emitted in call order; objects and arrays nest
+// arbitrarily. Misuse (a value where a key is required, unbalanced
+// end_* calls) throws std::logic_error rather than emitting bad JSON.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapsim::telemetry {
+
+/// Escape a string for inclusion inside a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  // NaN / Inf render as null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  /// Splice an already-serialized JSON document in as a value (no
+  /// validation — the caller vouches it is well-formed). Lets one
+  /// exporter embed another's output (e.g. a MetricsRegistry dump inside
+  /// a bench document) without re-parsing.
+  JsonWriter& raw_value(std::string_view serialized_json);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far. Throws if containers are still open.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  void before_value();
+  void raw(std::string_view text) { out_.append(text); }
+
+  struct Frame {
+    bool is_object = false;
+    bool first = true;
+  };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace rapsim::telemetry

@@ -1,0 +1,46 @@
+#include "telemetry/run_telemetry.hpp"
+
+#include <algorithm>
+
+namespace rapsim::telemetry {
+
+void RunTelemetry::reset(std::uint32_t width) {
+  bank_requests.assign(width, 0);
+  bank_peak.assign(width, 0);
+  congestion = util::Tally{};
+  dispatches = 0;
+  total_slots = 0;
+  warp_stall_slots = 0;
+  pipeline_idle_slots = 0;
+}
+
+double RunTelemetry::bank_occupancy(std::uint32_t bank) const noexcept {
+  if (total_slots == 0 || bank >= bank_requests.size()) return 0.0;
+  return static_cast<double>(bank_requests[bank]) /
+         static_cast<double>(total_slots);
+}
+
+void RunTelemetry::flush_into(MetricsRegistry& registry,
+                              const Labels& labels) const {
+  registry.counter("dmm.dispatches", labels).inc(dispatches);
+  registry.counter("dmm.pipeline_slots", labels).inc(total_slots);
+  registry.counter("dmm.warp_stall_slots", labels).inc(warp_stall_slots);
+  registry.counter("dmm.pipeline_idle_slots", labels).inc(pipeline_idle_slots);
+
+  for (std::size_t b = 0; b < bank_requests.size(); ++b) {
+    Labels bank_labels = labels;
+    bank_labels["bank"] = std::to_string(b);
+    registry.counter("dmm.bank_requests", bank_labels).inc(bank_requests[b]);
+    auto& peak = registry.gauge("dmm.bank_peak", bank_labels);
+    peak.set(std::max(peak.value(), static_cast<double>(bank_peak[b])));
+    registry.gauge("dmm.bank_occupancy", bank_labels)
+        .set(bank_occupancy(static_cast<std::uint32_t>(b)));
+  }
+
+  auto& dist = registry.distribution("dmm.congestion", labels);
+  for (const auto& [value, count] : congestion.histogram()) {
+    dist.observe_repeated(value, count);
+  }
+}
+
+}  // namespace rapsim::telemetry

@@ -1,9 +1,8 @@
 #include "transpose/runner.hpp"
 
-#include <algorithm>
-
 #include "core/factory.hpp"
 #include "dmm/trace.hpp"
+#include "telemetry/bank_profile.hpp"
 
 namespace rapsim::transpose {
 
@@ -17,17 +16,8 @@ std::uint64_t cell_value(std::uint32_t w, std::uint64_t i, std::uint64_t j) {
 
 PhaseCongestion phase_congestion(const dmm::Trace& trace,
                                  std::uint32_t instruction) {
-  PhaseCongestion phase;
-  std::uint64_t dispatches = 0;
-  double sum = 0.0;
-  for (const auto& d : trace.dispatches) {
-    if (d.instruction != instruction) continue;
-    ++dispatches;
-    sum += d.stages;
-    phase.max = std::max(phase.max, d.stages);
-  }
-  if (dispatches) phase.avg = sum / static_cast<double>(dispatches);
-  return phase;
+  const telemetry::PhaseStats stats = telemetry::phase_stats(trace, instruction);
+  return {stats.avg_congestion, stats.max_congestion};
 }
 
 }  // namespace

@@ -59,6 +59,10 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   return *v == "true" || *v == "1" || *v == "yes";
 }
 
+bool CliArgs::wants_json() const {
+  return get_string("format", "ascii") == "json";
+}
+
 TableStyle CliArgs::get_table_style() const {
   const std::string format = get_string("format", "ascii");
   if (format == "markdown" || format == "md") return TableStyle::kMarkdown;

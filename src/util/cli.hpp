@@ -43,8 +43,13 @@ class CliArgs {
       const std::string& name, std::vector<std::uint64_t> fallback) const;
 
   /// Shared --format flag of the bench binaries: "ascii" (default),
-  /// "markdown" or "csv". Unknown values fall back to ascii.
+  /// "markdown" or "csv". Unknown values (including "json") fall back to
+  /// ascii — binaries with a JSON exporter check wants_json() first.
   [[nodiscard]] TableStyle get_table_style() const;
+
+  /// True when --format=json was requested; such binaries emit one
+  /// machine-readable document on stdout instead of tables.
+  [[nodiscard]] bool wants_json() const;
 
  private:
   std::map<std::string, std::string> flags_;

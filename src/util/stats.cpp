@@ -19,6 +19,16 @@ void OnlineStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::add_repeated(double x, std::size_t count) noexcept {
+  if (count == 0) return;
+  OnlineStats batch;
+  batch.n_ = count;
+  batch.mean_ = x;
+  batch.m2_ = 0.0;
+  batch.min_ = batch.max_ = x;
+  merge(batch);
+}
+
 void OnlineStats::merge(const OnlineStats& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -53,6 +63,12 @@ void Tally::add(std::uint64_t value) noexcept {
   ++hist_[value];
 }
 
+void Tally::add_count(std::uint64_t value, std::size_t count) {
+  if (count == 0) return;
+  n_ += count;
+  hist_[value] += count;
+}
+
 double Tally::mean() const noexcept {
   if (n_ == 0) return 0.0;
   double sum = 0.0;
@@ -77,6 +93,25 @@ double Tally::tail_at_least(std::uint64_t threshold) const noexcept {
     above += it->second;
   }
   return static_cast<double>(above) / static_cast<double>(n_);
+}
+
+std::uint64_t Tally::percentile(double p) const noexcept {
+  if (n_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n_)));
+  const std::size_t target = std::max<std::size_t>(rank, 1);
+  std::size_t cumulative = 0;
+  for (const auto& [value, cnt] : hist_) {
+    cumulative += cnt;
+    if (cumulative >= target) return value;
+  }
+  return hist_.rbegin()->first;
+}
+
+void Tally::merge(const Tally& other) {
+  n_ += other.n_;
+  for (const auto& [value, cnt] : other.hist_) hist_[value] += cnt;
 }
 
 std::size_t Tally::occurrences(std::uint64_t value) const noexcept {

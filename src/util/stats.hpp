@@ -21,6 +21,11 @@ class OnlineStats {
  public:
   void add(double x) noexcept;
 
+  /// Add `count` observations of the same value in O(1) (Chan et al.
+  /// merge with a zero-variance batch). Used to rebuild moment statistics
+  /// from an integer histogram without replaying every sample.
+  void add_repeated(double x, std::size_t count) noexcept;
+
   /// Merge another accumulator (parallel reduction; Chan et al. update).
   void merge(const OnlineStats& other) noexcept;
 
@@ -51,6 +56,8 @@ class OnlineStats {
 class Tally {
  public:
   void add(std::uint64_t value) noexcept;
+  /// Record `count` occurrences of `value` in one histogram update.
+  void add_count(std::uint64_t value, std::size_t count);
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept;
@@ -58,6 +65,13 @@ class Tally {
   [[nodiscard]] std::uint64_t max() const noexcept;
   /// P[X >= threshold] over the recorded samples.
   [[nodiscard]] double tail_at_least(std::uint64_t threshold) const noexcept;
+  /// Nearest-rank percentile: the smallest recorded value v such that at
+  /// least ceil(p/100 * n) samples are <= v. `p` is in (0, 100]; p = 50 is
+  /// the median, p = 99 the congestion tail the JSON exporter reports.
+  /// Returns 0 for an empty tally.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+  /// Merge another tally (histogram addition; order-independent).
+  void merge(const Tally& other);
   /// Occurrences of an exact value.
   [[nodiscard]] std::size_t occurrences(std::uint64_t value) const noexcept;
   [[nodiscard]] const std::map<std::uint64_t, std::size_t>& histogram()

@@ -55,10 +55,13 @@ dmm::Kernel build_reduction_kernel(ReductionVariant variant, std::uint64_t n,
 
 ReductionReport run_reduction(ReductionVariant variant, core::Scheme scheme,
                               std::uint64_t n, std::uint32_t width,
-                              std::uint32_t latency, std::uint64_t seed) {
+                              std::uint32_t latency, std::uint64_t seed,
+                              dmm::Trace* trace,
+                              telemetry::RunTelemetry* telemetry) {
   const std::uint64_t rows = n / width;
   const auto map = core::make_matrix_map(scheme, width, rows, seed);
   dmm::Dmm machine(dmm::DmmConfig{width, latency}, *map);
+  machine.set_telemetry(telemetry);
 
   // Values i + 1 so the expected sum n(n+1)/2 detects any dropped or
   // double-counted element.
@@ -69,7 +72,7 @@ ReductionReport run_reduction(ReductionVariant variant, core::Scheme scheme,
   }
 
   ReductionReport report;
-  report.stats = machine.run(build_reduction_kernel(variant, n, width));
+  report.stats = machine.run(build_reduction_kernel(variant, n, width), trace);
   report.sum = machine.load(0);
   report.correct = report.sum == expected;
   return report;

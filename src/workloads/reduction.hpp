@@ -24,6 +24,7 @@
 #include "core/mapping.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/machine.hpp"
+#include "telemetry/run_telemetry.hpp"
 
 namespace rapsim::workloads {
 
@@ -45,12 +46,13 @@ struct ReductionReport {
 };
 
 /// Fill x[0..n) with deterministic values, run the reduction under
-/// `scheme`, verify the sum.
-[[nodiscard]] ReductionReport run_reduction(ReductionVariant variant,
-                                            core::Scheme scheme,
-                                            std::uint64_t n,
-                                            std::uint32_t width,
-                                            std::uint32_t latency,
-                                            std::uint64_t seed);
+/// `scheme`, verify the sum. A non-null `trace` receives the dispatch
+/// records and a non-null `telemetry` sink the per-bank/congestion
+/// telemetry of the run (rapsim_profile uses both).
+[[nodiscard]] ReductionReport run_reduction(
+    ReductionVariant variant, core::Scheme scheme, std::uint64_t n,
+    std::uint32_t width, std::uint32_t latency, std::uint64_t seed,
+    dmm::Trace* trace = nullptr,
+    telemetry::RunTelemetry* telemetry = nullptr);
 
 }  // namespace rapsim::workloads

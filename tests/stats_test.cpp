@@ -102,6 +102,56 @@ TEST(Tally, EmptyTally) {
   EXPECT_EQ(t.tail_at_least(1), 0.0);
 }
 
+TEST(Tally, PercentileNearestRank) {
+  Tally t;
+  for (std::uint64_t v = 1; v <= 100; ++v) t.add(v);
+  EXPECT_EQ(t.percentile(50.0), 50u);
+  EXPECT_EQ(t.percentile(95.0), 95u);
+  EXPECT_EQ(t.percentile(99.0), 99u);
+  EXPECT_EQ(t.percentile(100.0), 100u);
+  EXPECT_EQ(t.percentile(1.0), 1u);
+}
+
+TEST(Tally, PercentileSkewedMass) {
+  // 97 ones and 3 nines: p95 still falls inside the mass of ones, p99 in
+  // the tail — exactly the congestion-tail shape the JSON exporter reports.
+  Tally t;
+  t.add_count(1, 97);
+  t.add_count(9, 3);
+  EXPECT_EQ(t.count(), 100u);
+  EXPECT_EQ(t.percentile(50.0), 1u);
+  EXPECT_EQ(t.percentile(95.0), 1u);
+  EXPECT_EQ(t.percentile(99.0), 9u);
+}
+
+TEST(Tally, PercentileEmptyIsZero) {
+  Tally t;
+  EXPECT_EQ(t.percentile(50.0), 0u);
+}
+
+TEST(Tally, MergeAddsHistograms) {
+  Tally a, b;
+  a.add(1);
+  a.add(2);
+  b.add_count(2, 3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.occurrences(2), 4u);
+}
+
+TEST(OnlineStats, AddRepeatedMatchesLoop) {
+  OnlineStats looped, batched;
+  for (int i = 0; i < 7; ++i) looped.add(3.0);
+  for (int i = 0; i < 2; ++i) looped.add(11.0);
+  batched.add_repeated(3.0, 7);
+  batched.add_repeated(11.0, 2);
+  EXPECT_EQ(batched.count(), looped.count());
+  EXPECT_NEAR(batched.mean(), looped.mean(), 1e-12);
+  EXPECT_NEAR(batched.variance(), looped.variance(), 1e-9);
+  EXPECT_EQ(batched.min(), looped.min());
+  EXPECT_EQ(batched.max(), looped.max());
+}
+
 TEST(FormatFixed, MatchesPaperStyle) {
   EXPECT_EQ(format_fixed(3.53, 2), "3.53");
   EXPECT_EQ(format_fixed(1.0, 0), "1");

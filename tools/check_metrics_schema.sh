@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Validate the stable JSON metrics schema of the bench binaries.
+#
+#   tools/check_metrics_schema.sh [path/to/table2_congestion_sim]
+#
+# Runs one small --format=json sweep and checks the document parses and
+# carries every key downstream consumers (run_all.sh metric drops, the
+# BENCH_*.json perf trajectory) rely on. Registered as the ctest entry
+# `metrics_schema`; also run standalone by tools/run_all.sh.
+
+set -euo pipefail
+
+BIN="${1:-build/bench/table2_congestion_sim}"
+if [ ! -x "$BIN" ]; then
+  echo "check_metrics_schema: bench binary not found: $BIN" >&2
+  exit 1
+fi
+
+OUT="$("$BIN" --format=json --trials=200 --widths=16,32)"
+
+if command -v python3 >/dev/null 2>&1; then
+  # The heredoc is python's stdin (the program), so the document goes
+  # through a temp file rather than a pipe.
+  DOC="$(mktemp)"
+  trap 'rm -f "$DOC"' EXIT
+  printf '%s' "$OUT" > "$DOC"
+  python3 - "$DOC" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"metrics schema violation: {what}")
+
+require(doc.get("schema_version") == 1, "schema_version == 1")
+require(doc.get("experiment") == "table2_congestion_sim", "experiment name")
+config = doc.get("config", {})
+require(isinstance(config.get("widths"), list) and config["widths"],
+        "config.widths is a non-empty list")
+require(isinstance(config.get("trials"), int), "config.trials is an int")
+require(isinstance(config.get("seed"), int), "config.seed is an int")
+
+results = doc.get("results")
+require(isinstance(results, list) and results, "results is a non-empty list")
+schemes = set()
+for cell in results:
+    for key in ("scheme", "pattern", "width", "congestion", "bank_requests"):
+        require(key in cell, f"results[] has '{key}'")
+    congestion = cell["congestion"]
+    for key in ("mean", "ci95", "min", "max", "p50", "p95", "p99"):
+        require(key in congestion, f"congestion has '{key}'")
+    require(isinstance(cell["bank_requests"], list)
+            and len(cell["bank_requests"]) == cell["width"],
+            "bank_requests has one total per bank")
+    schemes.add(cell["scheme"])
+require({"RAW", "RAS", "RAP"} <= schemes, "all of RAW/RAS/RAP present")
+
+print(f"metrics schema OK: {len(results)} cells, schemes {sorted(schemes)}")
+EOF
+else
+  # No python3: structural grep fallback — weaker, but still catches a
+  # missing key or an empty document.
+  for key in schema_version experiment config widths trials seed results \
+             scheme pattern congestion mean ci95 p50 p95 p99 bank_requests; do
+    if ! printf '%s' "$OUT" | grep -q "\"$key\""; then
+      echo "metrics schema violation: missing key '$key'" >&2
+      exit 1
+    fi
+  done
+  echo "metrics schema OK (grep fallback; install python3 for full checks)"
+fi

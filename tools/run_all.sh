@@ -7,13 +7,28 @@
 # the default ascii renderings, one file per experiment, plus combined
 # test and bench logs at the repository root (test_output.txt /
 # bench_output.txt, the names EXPERIMENTS.md references).
+#
+# Machine-readable telemetry lands under results/metrics/: the Table II
+# congestion JSON (stable schema, validated by check_metrics_schema.sh),
+# the Figure 3 chrome://tracing timeline (open in ui.perfetto.dev), and a
+# rapsim_profile document per transpose algorithm. These files are the
+# per-run metric drop that seeds the BENCH_*.json performance trajectory
+# across PRs — see "Observability" in README.md.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -G Ninja
+# Prefer Ninja when available; fall back to the default generator so
+# Make-only hosts still work. The choice only applies on first configure —
+# an already-configured build dir keeps its generator (CMake refuses to
+# switch in place).
+GENERATOR=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+cmake -B "$BUILD_DIR" "${GENERATOR[@]}"
 cmake --build "$BUILD_DIR"
 
 ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
@@ -28,4 +43,17 @@ for bench in "$BUILD_DIR"/bench/*; do
   echo | tee -a bench_output.txt
 done
 
-echo "done: $(ls results | wc -l) experiment reports in results/"
+echo "=== machine-readable metrics -> results/metrics/ ==="
+mkdir -p results/metrics
+"$BUILD_DIR"/bench/table2_congestion_sim --format=json \
+  > results/metrics/table2_congestion_sim.json
+"$BUILD_DIR"/bench/fig3_dmm_pipeline \
+  --chrome-trace=results/metrics/fig3_pipeline.trace.json > /dev/null
+for workload in transpose-crsw transpose-srcw transpose-drdw; do
+  "$BUILD_DIR"/examples/rapsim_profile --workload="$workload" --format=json \
+    > "results/metrics/profile_${workload}.json"
+done
+tools/check_metrics_schema.sh "$BUILD_DIR"/bench/table2_congestion_sim
+
+echo "done: $(ls results | wc -l) experiment reports in results/," \
+     "$(ls results/metrics | wc -l) metric files in results/metrics/"
