@@ -67,6 +67,8 @@ Advice evaluate_schemes(const std::vector<WarpTrace>& traces,
     score.random_words =
         core::make_matrix_map(scheme, width, rows, seed)->random_words();
     advice.scores.push_back(score);
+    advice.certificates.push_back(
+        analyze::prove_worst_warp(traces, width, rows * width, scheme));
   }
 
   // Recommendation policy: prefer the cheapest scheme whose *worst* warp
@@ -98,6 +100,14 @@ Advice evaluate_schemes(const std::vector<WarpTrace>& traces,
       rap.max_congestion <= tolerance) {
     why << " (RAP is equivalent and additionally robust to access "
            "patterns not in this trace)";
+  }
+  // Cite the analyzer's proof rules: an exact certificate pins the worst
+  // warp for every draw, an expected-upper one bounds each warp's mean.
+  why << "; static proof:";
+  for (const auto& cert : advice.certificates) {
+    why << " " << core::scheme_name(cert.scheme)
+        << (cert.exact() ? "=" : "<=") << cert.bound << " [" << cert.rule
+        << "]";
   }
   advice.rationale = why.str();
   return advice;

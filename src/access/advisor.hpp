@@ -8,6 +8,12 @@
 // get per-scheme expected congestion plus a recommendation that weighs
 // the randomized schemes' average case against the deterministic schemes'
 // exact behaviour on YOUR trace.
+//
+// Every score also carries a static CongestionCertificate from the
+// analyzer (analyze/certificate.hpp): when the trace is affine the
+// rationale cites the proof rule that PROVES the congestion (gcd law,
+// permutation distinctness, Theorem 2 envelope) instead of only the
+// sampled means.
 
 #pragma once
 
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/certificate.hpp"
 #include "core/mapping.hpp"
 
 namespace rapsim::access {
@@ -31,6 +38,9 @@ struct SchemeScore {
 
 struct Advice {
   std::vector<SchemeScore> scores;  // RAW, PAD, RAS, RAP — in that order
+  /// Static certificates aligned with `scores`: the worst warp's proven
+  /// congestion (exact) or per-warp expected-congestion envelope.
+  std::vector<analyze::CongestionCertificate> certificates;
   core::Scheme recommended = core::Scheme::kRaw;
   std::string rationale;
 };

@@ -1,0 +1,85 @@
+// Symbolic congestion prover (static analysis, pillar 2).
+//
+// For a classified access pattern (analyze/affine.hpp) and a scheme, derive
+// the warp's congestion analytically and emit a machine-readable
+// certificate: the claim, which proof rule fired, and whether the bound is
+// exact or an expected-value envelope. The rules mirror the paper:
+//
+//   crcw-merge            all lanes share one address -> exact 1 (Fig 2(3))
+//   row-local             one row, any rotation scheme -> exact 1
+//                         (distinct columns + a common shift stay distinct)
+//   raw-gcd / raw-gcd-1d  RAW bank is the column alone: multiplicity of an
+//                         arithmetic progression mod w -> exact
+//                         ceil(n / (w / gcd(step, w)))    (Table I "w")
+//   pad-gcd               PAD skews by the row: effective column step
+//                         becomes col_step + row_step -> same gcd law
+//   rap-distinct-shifts   RAP column-constant access down distinct rows:
+//                         the permutation makes the shifts of any aligned
+//                         row window distinct -> exact gcd(row_step, w)
+//                         (= 1 for stride access: Theorem 2, det. part)
+//   rap-fixed-shift       row_step multiple of w: one shift applies to the
+//                         whole warp -> reduces to the RAW gcd law
+//   ras-balls-in-bins     RAS down distinct rows: i.i.d. uniform shifts ->
+//                         E[C] <= 3 ln w / ln ln w + 1 (Lemma 4 + union)
+//   theorem2-envelope     any other randomized case ->
+//                         E[C] <= 6 ln w / ln ln w + 1 (Theorem 2)
+//   direct-eval           deterministic scheme, non-affine stream: banks
+//                         are a closed form of the address, so evaluate
+//                         them without instantiating a map -> exact
+//
+// Certificates are cross-checked against the Monte Carlo simulator by
+// tests/differential_static_test.cpp over every (scheme, width, stride).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analyze/affine.hpp"
+#include "core/mapping.hpp"
+
+namespace rapsim::analyze {
+
+/// Is the bound an exact congestion value (every draw of the scheme's
+/// randomness attains it) or an upper bound on the expectation?
+enum class BoundKind { kExact, kExpectedUpper };
+
+struct CongestionCertificate {
+  core::Scheme scheme = core::Scheme::kRaw;
+  BoundKind kind = BoundKind::kExact;
+  double bound = 0.0;
+  std::string rule;     // machine-readable rule id (see header comment)
+  std::string claim;    // human-readable one-line statement
+  std::string pattern;  // AffineClass::describe() of the proven pattern
+
+  [[nodiscard]] bool exact() const noexcept {
+    return kind == BoundKind::kExact;
+  }
+  /// One-line JSON object {"scheme":...,"rule":...,"bound":...,...}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Prove the congestion of a classified pattern under `scheme` (one of the
+/// 2-D family: kRaw, kPad, kRas, kRap). Throws std::invalid_argument for
+/// other schemes or for kNotAffine input (use prove_trace for raw streams).
+[[nodiscard]] CongestionCertificate prove_congestion(const AffineClass& cls,
+                                                     core::Scheme scheme);
+
+/// Classify-then-prove one warp trace. Non-affine streams do not fail:
+/// deterministic schemes get an exact direct-eval certificate (the bank of
+/// an address is a closed form, no map instance needed) and randomized
+/// schemes get the Theorem 2 envelope.
+[[nodiscard]] CongestionCertificate prove_trace(
+    std::span<const std::uint64_t> trace, std::uint32_t width,
+    std::uint64_t size, core::Scheme scheme);
+
+/// Certificate for the worst warp of a multi-warp trace: the per-warp
+/// bounds' maximum, exact only if every warp's certificate is exact. The
+/// rule/claim/pattern fields are those of the warp attaining the maximum.
+[[nodiscard]] CongestionCertificate prove_worst_warp(
+    const std::vector<std::vector<std::uint64_t>>& traces, std::uint32_t width,
+    std::uint64_t size, core::Scheme scheme);
+
+}  // namespace rapsim::analyze

@@ -1,0 +1,124 @@
+#include "analyze/sanitizer.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace rapsim::analyze {
+
+const char* finding_kind_name(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kOutOfBounds: return "out-of-bounds";
+    case FindingKind::kUninitializedRead: return "uninitialized-read";
+    case FindingKind::kWriteConflict: return "write-conflict";
+  }
+  return "?";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream out;
+  out << finding_kind_name(kind) << ": warp " << warp << " lane " << thread
+      << " instruction " << instruction << " logical " << logical;
+  switch (kind) {
+    case FindingKind::kOutOfBounds:
+      out << " -> physical " << physical << " (beyond memory)";
+      break;
+    case FindingKind::kUninitializedRead:
+      out << " -> physical " << physical << " (never written)";
+      break;
+    case FindingKind::kWriteConflict:
+      out << " -> physical " << physical << " (lane " << other_thread
+          << " won the CRCW race with a different value)";
+      break;
+  }
+  return out.str();
+}
+
+void ShmemSanitizer::attach(std::uint32_t width, std::uint64_t size) {
+  width_ = width;
+  size_ = size;
+  written_.assign(size, false);
+  findings_.clear();
+  counts_.fill(0);
+}
+
+void ShmemSanitizer::note_host_write(std::uint64_t physical) noexcept {
+  if (physical < written_.size()) written_[physical] = true;
+}
+
+void ShmemSanitizer::note_write(std::uint64_t physical) noexcept {
+  if (physical < written_.size()) written_[physical] = true;
+}
+
+void ShmemSanitizer::record_out_of_bounds(std::uint32_t warp,
+                                          std::uint32_t thread,
+                                          std::uint32_t instruction,
+                                          std::uint64_t logical,
+                                          std::uint64_t physical) {
+  record({FindingKind::kOutOfBounds, warp, thread, thread, instruction,
+          logical, physical});
+}
+
+void ShmemSanitizer::check_read(std::uint32_t warp, std::uint32_t thread,
+                                std::uint32_t instruction,
+                                std::uint64_t logical,
+                                std::uint64_t physical) {
+  if (physical < written_.size() && !written_[physical]) {
+    record({FindingKind::kUninitializedRead, warp, thread, thread,
+            instruction, logical, physical});
+  }
+}
+
+void ShmemSanitizer::check_write_conflict(
+    std::uint32_t warp, std::uint32_t winner, std::uint32_t thread,
+    std::uint32_t instruction, std::uint64_t logical, std::uint64_t physical,
+    std::uint64_t winner_value, std::uint64_t value) {
+  if (winner_value == value) return;  // benign broadcast of one value
+  record({FindingKind::kWriteConflict, warp, thread, winner, instruction,
+          logical, physical});
+}
+
+void ShmemSanitizer::record(Finding finding) {
+  ++counts_[static_cast<std::size_t>(finding.kind)];
+  if (findings_.size() < max_findings) findings_.push_back(finding);
+}
+
+std::uint64_t ShmemSanitizer::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+void ShmemSanitizer::clear_findings() noexcept {
+  findings_.clear();
+  counts_.fill(0);
+}
+
+std::string ShmemSanitizer::report() const {
+  std::ostringstream out;
+  out << "shared-memory sanitizer: " << total() << " finding(s)";
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    if (counts_[k] == 0) continue;
+    out << ", " << counts_[k] << " "
+        << finding_kind_name(static_cast<FindingKind>(k));
+  }
+  out << "\n";
+  for (const Finding& finding : findings_) {
+    out << "  " << finding.to_string() << "\n";
+  }
+  if (total() > findings_.size()) {
+    out << "  ... " << total() - findings_.size()
+        << " more (raise max_findings to keep them)\n";
+  }
+  return out.str();
+}
+
+void ShmemSanitizer::flush_into(telemetry::MetricsRegistry& registry,
+                                const telemetry::Labels& labels) const {
+  registry.counter("sanitizer.out_of_bounds", labels)
+      .inc(count(FindingKind::kOutOfBounds));
+  registry.counter("sanitizer.uninitialized_read", labels)
+      .inc(count(FindingKind::kUninitializedRead));
+  registry.counter("sanitizer.write_conflict", labels)
+      .inc(count(FindingKind::kWriteConflict));
+  registry.counter("sanitizer.findings", labels).inc(total());
+}
+
+}  // namespace rapsim::analyze

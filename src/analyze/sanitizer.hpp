@@ -1,0 +1,127 @@
+// Shared-memory sanitizer for the DMM machine (static analysis, pillar 3).
+//
+// An opt-in checker installed on dmm::Dmm via set_sanitizer(). While
+// installed, every warp access is screened for the three shared-memory
+// bugs the simulator would otherwise hide or hard-fault on:
+//
+//   * out-of-bounds      — a translated physical address beyond the memory
+//                          (the machine normally throws on the first one;
+//                          with the sanitizer the faulting lane is skipped
+//                          and recorded, so one run collects ALL findings)
+//   * uninitialized read — a load (or atomic add, which reads the cell)
+//                          from a word no kernel op or host store has
+//                          written since the sanitizer was attached
+//   * write-write race   — two lanes of one warp-instruction storing
+//                          DIFFERENT values to one cell. The model's CRCW
+//                          arbitrary rule resolves this deterministically
+//                          (lowest lane wins), but on real hardware the
+//                          surviving value is undefined — exactly the bug
+//                          class worth flagging. Equal-value multi-writes
+//                          are the benign broadcast idiom and stay silent.
+//
+// Findings accumulate (bounded at max_findings; counters stay exact) and
+// report through the PR-1 telemetry sink: flush_into() emits
+// sanitizer.out_of_bounds / sanitizer.uninitialized_read /
+// sanitizer.write_conflict counters into a MetricsRegistry.
+//
+// Attach the sanitizer BEFORE writing the kernel's inputs: the shadow
+// write-bitmap starts all-unwritten at attach time, and host-side
+// Dmm::store / fill_identity mark cells as initialized.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace rapsim::analyze {
+
+enum class FindingKind : std::uint8_t {
+  kOutOfBounds,
+  kUninitializedRead,
+  kWriteConflict,
+};
+
+[[nodiscard]] const char* finding_kind_name(FindingKind kind) noexcept;
+
+struct Finding {
+  FindingKind kind = FindingKind::kOutOfBounds;
+  std::uint32_t warp = 0;
+  std::uint32_t thread = 0;       // faulting lane (global thread id)
+  std::uint32_t other_thread = 0; // write conflict: the winning lane
+  std::uint32_t instruction = 0;  // index into Kernel::instructions
+  std::uint64_t logical = 0;
+  std::uint64_t physical = 0;
+
+  /// One-line human-readable rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ShmemSanitizer {
+ public:
+  /// Keep at most this many Finding records (counters stay exact beyond
+  /// it). Bounded so a pathological kernel cannot eat the host's memory.
+  std::size_t max_findings = 256;
+
+  // --- Machine-facing hooks (called by dmm::Dmm; not user API). ---
+
+  /// Size the shadow bitmap for a memory of `size` words over `width`
+  /// banks and forget prior findings. Dmm::set_sanitizer calls this.
+  void attach(std::uint32_t width, std::uint64_t size);
+
+  /// Host-side store / fill marks a cell initialized.
+  void note_host_write(std::uint64_t physical) noexcept;
+
+  void record_out_of_bounds(std::uint32_t warp, std::uint32_t thread,
+                            std::uint32_t instruction, std::uint64_t logical,
+                            std::uint64_t physical);
+  /// Checks the shadow bitmap; records a finding on an unwritten cell.
+  void check_read(std::uint32_t warp, std::uint32_t thread,
+                  std::uint32_t instruction, std::uint64_t logical,
+                  std::uint64_t physical);
+  /// Marks the cell written.
+  void note_write(std::uint64_t physical) noexcept;
+  /// `winner` already stored `winner_value`; lane `thread` wanted `value`.
+  void check_write_conflict(std::uint32_t warp, std::uint32_t winner,
+                            std::uint32_t thread, std::uint32_t instruction,
+                            std::uint64_t logical, std::uint64_t physical,
+                            std::uint64_t winner_value, std::uint64_t value);
+
+  // --- User-facing queries. ---
+
+  [[nodiscard]] const std::vector<Finding>& findings() const noexcept {
+    return findings_;
+  }
+  [[nodiscard]] std::uint64_t count(FindingKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] bool clean() const noexcept { return total() == 0; }
+
+  /// Forget findings but keep the shadow write-bitmap (for checking a
+  /// follow-up kernel on the same memory contents).
+  void clear_findings() noexcept;
+
+  /// Multi-line report, one finding per line, truncation noted.
+  [[nodiscard]] std::string report() const;
+
+  /// Counters into the telemetry registry:
+  ///   sanitizer.out_of_bounds, sanitizer.uninitialized_read,
+  ///   sanitizer.write_conflict, sanitizer.findings (total)
+  void flush_into(telemetry::MetricsRegistry& registry,
+                  const telemetry::Labels& labels) const;
+
+ private:
+  void record(Finding finding);
+
+  std::uint32_t width_ = 0;
+  std::uint64_t size_ = 0;
+  std::vector<bool> written_;
+  std::vector<Finding> findings_;
+  std::array<std::uint64_t, 3> counts_{};
+};
+
+}  // namespace rapsim::analyze

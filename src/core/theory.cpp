@@ -36,6 +36,11 @@ double theorem2_expectation_bound(std::uint32_t width) {
   return 2.0 * (lemma4_threshold(width) + 0.5);
 }
 
+double balls_in_bins_expectation_bound(std::uint32_t width) {
+  // E[max] <= T(w) + P[any bin exceeds] * (max possible) <= T(w) + (1/w)*w.
+  return lemma4_threshold(width) + 1.0;
+}
+
 double expected_max_load_mc(std::uint32_t balls, std::uint32_t bins,
                             std::uint32_t trials, std::uint64_t seed) {
   if (bins == 0 || trials == 0) return 0.0;

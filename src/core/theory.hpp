@@ -42,6 +42,15 @@ namespace rapsim::core {
 /// with E <= T(w) + (1/w)(w/2).
 [[nodiscard]] double theorem2_expectation_bound(std::uint32_t width);
 
+/// Expectation envelope for at most `width` balls thrown i.i.d. uniformly
+/// into `width` bins (the RAS stride case: distinct rows draw independent
+/// offsets): per-bin mean <= 1, so Lemma 4's Chernoff tail gives
+/// P[bin >= T(w)] <= 1/w^2, the union bound over w bins gives 1/w, and
+/// E[max] <= T(w) + (1/w) * w = 3 ln w / ln ln w + 1. Tighter than the
+/// Theorem 2 envelope (one half-warp argument instead of two); the static
+/// analyzer's `ras-balls-in-bins` certificates cite this bound.
+[[nodiscard]] double balls_in_bins_expectation_bound(std::uint32_t width);
+
 /// Expected maximum bank load when `balls` unique requests land uniformly
 /// and independently in `bins` banks (Monte Carlo over `trials` draws).
 /// This governs: random access (all three schemes), RAS stride access and

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "analyze/sanitizer.hpp"
 #include "telemetry/run_telemetry.hpp"
 
 namespace rapsim::dmm {
@@ -34,13 +35,22 @@ std::uint64_t Dmm::load(std::uint64_t logical) const {
 }
 
 void Dmm::store(std::uint64_t logical, std::uint64_t value) {
-  memory_.at(map_.translate(logical)) = value;
+  const std::uint64_t phys = map_.translate(logical);
+  memory_.at(phys) = value;
+  if (sanitizer_) sanitizer_->note_host_write(phys);
 }
 
 void Dmm::fill_identity() {
   for (std::uint64_t a = 0; a < memory_.size(); ++a) {
-    memory_[map_.translate(a)] = a;
+    const std::uint64_t phys = map_.translate(a);
+    memory_[phys] = a;
+    if (sanitizer_) sanitizer_->note_host_write(phys);
   }
+}
+
+void Dmm::set_sanitizer(analyze::ShmemSanitizer* sanitizer) {
+  sanitizer_ = sanitizer;
+  if (sanitizer_) sanitizer_->attach(config_.width, memory_.size());
 }
 
 namespace {
@@ -57,9 +67,11 @@ bool is_read(OpKind kind) {
 }  // namespace
 
 Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
+                                         std::uint32_t instr_idx,
                                          std::uint32_t warp_begin,
                                          std::uint32_t warp_end) {
   WarpAccess result;
+  const std::uint32_t warp_id = warp_begin / config_.width;
 
   // SIMD check: a warp executes one instruction, so active ops must be of
   // one class — all reads, all writes, or all register ops (Section II:
@@ -109,7 +121,19 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
       if (op.kind == OpKind::kNone) continue;
       const std::uint64_t phys = map_.translate(op.logical);
       if (phys >= memory_.size()) {
+        if (sanitizer_) {
+          // Record and skip the faulting lane so one run collects every
+          // finding instead of dying on the first.
+          sanitizer_->record_out_of_bounds(warp_id, t, instr_idx, op.logical,
+                                           phys);
+          continue;
+        }
         throw std::out_of_range("Dmm: access beyond memory size");
+      }
+      if (sanitizer_) {
+        // An atomic add reads the cell before writing it back.
+        sanitizer_->check_read(warp_id, t, instr_idx, op.logical, phys);
+        sanitizer_->note_write(phys);
       }
       memory_[phys] += registers_[static_cast<std::size_t>(t) *
                                       kRegistersPerThread +
@@ -170,10 +194,18 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
     if (op.kind == OpKind::kNone) continue;
     const std::uint64_t phys = map_.translate(op.logical);
     if (phys >= memory_.size()) {
+      if (sanitizer_) {
+        sanitizer_->record_out_of_bounds(warp_id, t, instr_idx, op.logical,
+                                         phys);
+        continue;
+      }
       throw std::out_of_range("Dmm: access beyond memory size");
     }
     const auto [it, inserted] = first_writer.emplace(phys, t);
     if (inserted) unique_addrs.push_back(phys);
+    if (sanitizer_ && is_read(op.kind)) {
+      sanitizer_->check_read(warp_id, t, instr_idx, op.logical, phys);
+    }
 
     auto& reg =
         registers_[static_cast<std::size_t>(t) * kRegistersPerThread + op.reg];
@@ -196,6 +228,13 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
           // later writes to the same merged address are ignored.
           memory_[phys] =
               op.kind == OpKind::kStoreImm ? op.immediate : reg;
+          if (sanitizer_) sanitizer_->note_write(phys);
+        } else if (sanitizer_) {
+          // The winner already stored; a losing lane carrying a DIFFERENT
+          // value is a genuine CRCW write-write race.
+          sanitizer_->check_write_conflict(
+              warp_id, it->second, t, instr_idx, op.logical, phys,
+              memory_[phys], op.kind == OpKind::kStoreImm ? op.immediate : reg);
         }
         break;
       case OpKind::kNone:
@@ -341,8 +380,9 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
 
     const std::uint32_t begin = chosen * w;
     const std::uint32_t end = std::min(begin + w, kernel.num_threads);
-    const WarpAccess access =
-        perform_warp_access(kernel.instructions[next_instr[chosen]], begin, end);
+    const WarpAccess access = perform_warp_access(
+        kernel.instructions[next_instr[chosen]],
+        static_cast<std::uint32_t>(next_instr[chosen]), begin, end);
 
     if (access.congestion == 0) {
       // Register-only instruction: executed above, no pipeline traffic and

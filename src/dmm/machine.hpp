@@ -43,6 +43,10 @@
 #include "dmm/kernel.hpp"
 #include "dmm/trace.hpp"
 
+namespace rapsim::analyze {
+class ShmemSanitizer;
+}
+
 namespace rapsim::telemetry {
 struct RunTelemetry;
 }
@@ -91,6 +95,17 @@ class Dmm {
     return telemetry_;
   }
 
+  /// Install (or clear, with nullptr) the shared-memory sanitizer. On
+  /// install the sanitizer's shadow write-bitmap is reset to all-unwritten
+  /// and sized for this memory, so install BEFORE storing kernel inputs.
+  /// While installed, out-of-bounds accesses are recorded and the faulting
+  /// lane skipped (instead of the machine throwing on the first one), and
+  /// uninitialized reads / divergent CRCW write-write races are recorded.
+  void set_sanitizer(analyze::ShmemSanitizer* sanitizer);
+  [[nodiscard]] analyze::ShmemSanitizer* sanitizer() const noexcept {
+    return sanitizer_;
+  }
+
   [[nodiscard]] const DmmConfig& config() const noexcept { return config_; }
   [[nodiscard]] const core::AddressMap& map() const noexcept { return map_; }
   [[nodiscard]] std::uint64_t memory_size() const noexcept {
@@ -103,15 +118,18 @@ class Dmm {
   std::vector<std::uint64_t> memory_;     // physical layout
   std::vector<std::uint64_t> registers_;  // one accumulator per thread
   telemetry::RunTelemetry* telemetry_ = nullptr;  // optional, not owned
+  analyze::ShmemSanitizer* sanitizer_ = nullptr;  // optional, not owned
 
   /// Execute the data movement of one warp-instruction and return its
-  /// congestion (pipeline slots) and unique-request count.
+  /// congestion (pipeline slots) and unique-request count. `instr_idx` is
+  /// the kernel instruction index (sanitizer findings cite it).
   struct WarpAccess {
     std::uint32_t congestion = 0;
     std::uint32_t unique_requests = 0;
     std::uint32_t active_threads = 0;
   };
   WarpAccess perform_warp_access(const Instruction& instr,
+                                 std::uint32_t instr_idx,
                                  std::uint32_t warp_begin,
                                  std::uint32_t warp_end);
 };

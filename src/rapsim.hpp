@@ -13,6 +13,9 @@
 #include "access/montecarlo.hpp"
 #include "access/pattern2d.hpp"
 #include "access/pattern4d.hpp"
+#include "analyze/affine.hpp"
+#include "analyze/certificate.hpp"
+#include "analyze/sanitizer.hpp"
 #include "core/congestion.hpp"
 #include "core/factory.hpp"
 #include "core/mapping.hpp"

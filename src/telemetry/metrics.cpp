@@ -54,6 +54,24 @@ Distribution& MetricsRegistry::distribution(const std::string& name,
   return entry.metric;
 }
 
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+  const auto it = counters_.find(make_key(name, labels));
+  return it == counters_.end() ? nullptr : &it->second.metric;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const Labels& labels) const {
+  const auto it = gauges_.find(make_key(name, labels));
+  return it == gauges_.end() ? nullptr : &it->second.metric;
+}
+
+const Distribution* MetricsRegistry::find_distribution(
+    const std::string& name, const Labels& labels) const {
+  const auto it = distributions_.find(make_key(name, labels));
+  return it == distributions_.end() ? nullptr : &it->second.metric;
+}
+
 std::size_t MetricsRegistry::size() const noexcept {
   return counters_.size() + gauges_.size() + distributions_.size();
 }

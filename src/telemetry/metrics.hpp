@@ -87,6 +87,16 @@ class MetricsRegistry {
   Distribution& distribution(const std::string& name,
                              const Labels& labels = {});
 
+  /// Read-only lookup: nullptr when the metric was never registered.
+  /// Unlike the find-or-create accessors these let asserting code (tests,
+  /// schema checks) probe for a metric's absence without materializing it.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Distribution* find_distribution(
+      const std::string& name, const Labels& labels = {}) const;
+
   [[nodiscard]] std::size_t size() const noexcept;
 
   /// Stable-schema JSON document of every registered metric.

@@ -78,6 +78,36 @@ TEST(Congestion, LogicalGoesThroughMapping) {
   EXPECT_EQ(congestion_value(col, rap), 1u);
 }
 
+TEST(Congestion, AllDuplicatesMergeToSingleRequest) {
+  // A full warp (and more) hammering one cell is the paper's Figure 2(3)
+  // broadcast: CRCW merging turns it into ONE request, whatever the width.
+  const std::vector<std::uint64_t> addrs(64, 17);
+  const auto r = congestion_of_physical(addrs, 32);
+  EXPECT_EQ(r.congestion, 1u);
+  EXPECT_EQ(r.unique_requests, 1u);
+  EXPECT_EQ(r.per_bank[17 % 32], 1u);
+}
+
+TEST(Congestion, WidthOneMergesDuplicatesBeforeCounting) {
+  // One bank, but duplicates still merge first: {5,5,5,2,2} is two
+  // unique requests, not five.
+  const std::vector<std::uint64_t> addrs = {5, 5, 5, 2, 2};
+  const auto r = congestion_of_physical(addrs, 1);
+  EXPECT_EQ(r.congestion, 2u);
+  EXPECT_EQ(r.unique_requests, 2u);
+  ASSERT_EQ(r.per_bank.size(), 1u);
+  EXPECT_EQ(r.per_bank[0], 2u);
+}
+
+TEST(Congestion, EmptyWarpOnWidthOneMemory) {
+  const std::vector<std::uint64_t> addrs;
+  const auto r = congestion_of_physical(addrs, 1);
+  EXPECT_EQ(r.congestion, 0u);
+  EXPECT_EQ(r.unique_requests, 0u);
+  ASSERT_EQ(r.per_bank.size(), 1u);
+  EXPECT_EQ(r.per_bank[0], 0u);
+}
+
 TEST(Congestion, PerBankSumsToUniqueRequests) {
   const std::vector<std::uint64_t> addrs = {0, 1, 2, 3, 4, 5, 6, 7, 0, 4};
   const auto r = congestion_of_physical(addrs, 4);

@@ -1,0 +1,259 @@
+// Tests for the DMM shared-memory sanitizer: seeded out-of-bounds
+// accesses, uninitialized reads, and CRCW write-write races must be
+// caught, attributed to the right warp/lane/instruction, and reported
+// through the telemetry registry.
+
+#include "analyze/sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/mapping2d.hpp"
+#include "dmm/config.hpp"
+#include "dmm/kernel.hpp"
+#include "dmm/machine.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rapsim::analyze {
+namespace {
+
+dmm::DmmConfig small_config(std::uint32_t width) {
+  dmm::DmmConfig config;
+  config.width = width;
+  config.latency = 2;
+  return config;
+}
+
+TEST(Sanitizer, CatchesSeededOutOfBoundsAccess) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);  // 16 words
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+
+  // Lane 2 of warp 0 stores past the end of memory; without the sanitizer
+  // this would throw. With it, the lane is recorded and skipped.
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w);
+  for (std::uint32_t t = 0; t < w; ++t) {
+    instr[t] = dmm::ThreadOp::store_imm(t, 7);
+  }
+  instr[2] = dmm::ThreadOp::store_imm(map.size() + 3, 7);  // seeded bug
+  kernel.push(instr);
+
+  const auto stats = machine.run(kernel);
+  EXPECT_EQ(stats.dispatches, 1u);
+  ASSERT_EQ(sanitizer.count(FindingKind::kOutOfBounds), 1u);
+  const Finding& f = sanitizer.findings().front();
+  EXPECT_EQ(f.kind, FindingKind::kOutOfBounds);
+  EXPECT_EQ(f.warp, 0u);
+  EXPECT_EQ(f.thread, 2u);
+  EXPECT_EQ(f.instruction, 0u);
+  EXPECT_EQ(f.logical, map.size() + 3);
+  // The three healthy lanes still executed.
+  EXPECT_EQ(machine.load(0), 7u);
+  EXPECT_EQ(machine.load(3), 7u);
+}
+
+TEST(Sanitizer, WithoutSanitizerOutOfBoundsStillThrows) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w, dmm::ThreadOp::none());
+  instr[0] = dmm::ThreadOp::load(map.size() + 1);
+  kernel.push(instr);
+  EXPECT_THROW(static_cast<void>(machine.run(kernel)), std::out_of_range);
+}
+
+TEST(Sanitizer, CatchesSeededWriteWriteConflict) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+
+  // Lanes 1 and 3 both store to logical 5 with DIFFERENT values: the CRCW
+  // arbitrary rule resolves it (lane 1 wins) but the race is real.
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w);
+  instr[0] = dmm::ThreadOp::store_imm(0, 10);
+  instr[1] = dmm::ThreadOp::store_imm(5, 11);
+  instr[2] = dmm::ThreadOp::store_imm(2, 12);
+  instr[3] = dmm::ThreadOp::store_imm(5, 13);  // seeded race
+  kernel.push(instr);
+
+  static_cast<void>(machine.run(kernel));
+  ASSERT_EQ(sanitizer.count(FindingKind::kWriteConflict), 1u);
+  const Finding& f = sanitizer.findings().back();
+  EXPECT_EQ(f.kind, FindingKind::kWriteConflict);
+  EXPECT_EQ(f.thread, 3u);
+  EXPECT_EQ(f.other_thread, 1u);  // the winning lane
+  EXPECT_EQ(f.logical, 5u);
+  EXPECT_EQ(machine.load(5), 11u);  // lowest lane won
+}
+
+TEST(Sanitizer, BroadcastStoreOfOneValueIsBenign) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w);
+  for (std::uint32_t t = 0; t < w; ++t) {
+    instr[t] = dmm::ThreadOp::store_imm(9, 42);  // same cell, same value
+  }
+  kernel.push(instr);
+  static_cast<void>(machine.run(kernel));
+  EXPECT_EQ(sanitizer.count(FindingKind::kWriteConflict), 0u);
+  EXPECT_TRUE(sanitizer.clean());
+}
+
+TEST(Sanitizer, CatchesUninitializedReads) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  // Initialize only the first row via the host interface.
+  for (std::uint64_t a = 0; a < w; ++a) machine.store(a, a);
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w);
+  for (std::uint32_t t = 0; t < w; ++t) {
+    instr[t] = dmm::ThreadOp::load(t);  // row 0: initialized
+  }
+  instr[3] = dmm::ThreadOp::load(w + 2);  // row 1: never written
+  kernel.push(instr);
+
+  static_cast<void>(machine.run(kernel));
+  ASSERT_EQ(sanitizer.count(FindingKind::kUninitializedRead), 1u);
+  EXPECT_EQ(sanitizer.findings().front().thread, 3u);
+  EXPECT_EQ(sanitizer.findings().front().logical, w + 2u);
+}
+
+TEST(Sanitizer, KernelStoreInitializesForLaterReads) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction store(w);
+  dmm::Instruction load(w);
+  for (std::uint32_t t = 0; t < w; ++t) {
+    store[t] = dmm::ThreadOp::store_imm(t, t);
+    load[t] = dmm::ThreadOp::load(t);
+  }
+  kernel.push(store);
+  kernel.push_barrier();
+  kernel.push(load);
+  static_cast<void>(machine.run(kernel));
+  EXPECT_TRUE(sanitizer.clean()) << sanitizer.report();
+}
+
+TEST(Sanitizer, AtomicAddReadsTheCell) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w, dmm::ThreadOp::none());
+  instr[0] = dmm::ThreadOp::atomic_add(6);  // never initialized
+  kernel.push(instr);
+  static_cast<void>(machine.run(kernel));
+  EXPECT_EQ(sanitizer.count(FindingKind::kUninitializedRead), 1u);
+}
+
+TEST(Sanitizer, FillIdentityMarksEverythingWritten) {
+  const std::uint32_t w = 8;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w);
+  for (std::uint32_t t = 0; t < w; ++t) {
+    instr[t] = dmm::ThreadOp::load(t * w);  // one full column
+  }
+  kernel.push(instr);
+  static_cast<void>(machine.run(kernel));
+  EXPECT_TRUE(sanitizer.clean()) << sanitizer.report();
+}
+
+TEST(Sanitizer, FlushesCountersIntoTelemetryRegistry) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w, dmm::ThreadOp::none());
+  instr[0] = dmm::ThreadOp::load(map.size() + 1);  // oob
+  instr[1] = dmm::ThreadOp::load(3);               // uninitialized
+  kernel.push(instr);
+  static_cast<void>(machine.run(kernel));
+
+  telemetry::MetricsRegistry registry;
+  const telemetry::Labels labels = {{"scheme", "RAW"}};
+  sanitizer.flush_into(registry, labels);
+  ASSERT_NE(registry.find_counter("sanitizer.out_of_bounds", labels), nullptr);
+  EXPECT_EQ(registry.find_counter("sanitizer.out_of_bounds", labels)->value(),
+            1u);
+  EXPECT_EQ(
+      registry.find_counter("sanitizer.uninitialized_read", labels)->value(),
+      1u);
+  EXPECT_EQ(registry.find_counter("sanitizer.write_conflict", labels)->value(),
+            0u);
+  EXPECT_EQ(registry.find_counter("sanitizer.findings", labels)->value(), 2u);
+  // The read-only probe does not materialize absent metrics.
+  EXPECT_EQ(registry.find_counter("sanitizer.out_of_bounds", {}), nullptr);
+}
+
+TEST(Sanitizer, ReportListsFindingsAndBoundsThem) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  sanitizer.max_findings = 2;
+  machine.set_sanitizer(&sanitizer);
+
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction instr(w);
+  for (std::uint32_t t = 0; t < w; ++t) {
+    instr[t] = dmm::ThreadOp::load(t);  // all four uninitialized
+  }
+  kernel.push(instr);
+  static_cast<void>(machine.run(kernel));
+
+  EXPECT_EQ(sanitizer.count(FindingKind::kUninitializedRead), 4u);
+  EXPECT_EQ(sanitizer.findings().size(), 2u);  // bounded
+  const std::string report = sanitizer.report();
+  EXPECT_NE(report.find("uninitialized-read"), std::string::npos);
+  EXPECT_NE(report.find("2 more"), std::string::npos);
+
+  sanitizer.clear_findings();
+  EXPECT_TRUE(sanitizer.clean());
+}
+
+}  // namespace
+}  // namespace rapsim::analyze

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Validate the CongestionCertificate JSON contract.
+#
+#   tools/check_certificates.sh [path/to/prove_pattern]
+#
+# Runs prove_pattern --format=json on a couple of patterns and checks each
+# emitted line parses as JSON and carries every key downstream consumers
+# (results/ drops, the advisor rationale) rely on: scheme, kind, bound,
+# rule, claim, pattern. Registered as the ctest entry `certificate_schema`.
+
+set -euo pipefail
+
+BIN="${1:-build/examples/prove_pattern}"
+if [ ! -x "$BIN" ]; then
+  echo "check_certificates: prove_pattern binary not found: $BIN" >&2
+  exit 1
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_certificates: python3 is required to validate the JSON" \
+       "schema and was not found on PATH" >&2
+  exit 1
+fi
+
+DOC="$(mktemp)"
+trap 'rm -f "$DOC"' EXIT
+{
+  "$BIN" --pattern=column --width=16 --format=json
+  "$BIN" --pattern=flat --stride=6 --width=16 --format=json
+  "$BIN" --addrs=0,3,1,4,1,5 --width=16 --format=json
+} > "$DOC"
+
+python3 - "$DOC" <<'EOF'
+import json
+import sys
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"certificate schema violation: {what}")
+
+lines = [l for l in open(sys.argv[1], encoding="utf-8") if l.strip()]
+require(len(lines) == 12, f"expected 12 certificates, got {len(lines)}")
+
+schemes = set()
+rules = set()
+for line in lines:
+    cert = json.loads(line)
+    for key in ("scheme", "kind", "bound", "rule", "claim", "pattern"):
+        require(key in cert, f"certificate has '{key}'")
+    require(cert["kind"] in ("exact", "expected-upper"),
+            "kind is exact or expected-upper")
+    require(isinstance(cert["bound"], (int, float)) and cert["bound"] >= 0,
+            "bound is a non-negative number")
+    require(cert["rule"], "rule is non-empty")
+    schemes.add(cert["scheme"])
+    rules.add(cert["rule"])
+require(schemes == {"RAW", "PAD", "RAS", "RAP"}, "all four schemes present")
+require("rap-distinct-shifts" in rules and "direct-eval" in rules,
+        "expected proof rules fired")
+
+print(f"certificate schema OK: {len(lines)} certificates, "
+      f"rules {sorted(rules)}")
+EOF

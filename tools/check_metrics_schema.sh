@@ -18,13 +18,20 @@ fi
 
 OUT="$("$BIN" --format=json --trials=200 --widths=16,32)"
 
-if command -v python3 >/dev/null 2>&1; then
-  # The heredoc is python's stdin (the program), so the document goes
-  # through a temp file rather than a pipe.
-  DOC="$(mktemp)"
-  trap 'rm -f "$DOC"' EXIT
-  printf '%s' "$OUT" > "$DOC"
-  python3 - "$DOC" <<'EOF'
+# A real JSON parse is the point of this check: a grep fallback would pass
+# documents that no consumer can load. Fail loudly instead of degrading.
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_metrics_schema: python3 is required to validate the JSON" \
+       "schema and was not found on PATH" >&2
+  exit 1
+fi
+
+# The heredoc is python's stdin (the program), so the document goes
+# through a temp file rather than a pipe.
+DOC="$(mktemp)"
+trap 'rm -f "$DOC"' EXIT
+printf '%s' "$OUT" > "$DOC"
+python3 - "$DOC" <<'EOF'
 import json
 import sys
 
@@ -60,15 +67,3 @@ require({"RAW", "RAS", "RAP"} <= schemes, "all of RAW/RAS/RAP present")
 
 print(f"metrics schema OK: {len(results)} cells, schemes {sorted(schemes)}")
 EOF
-else
-  # No python3: structural grep fallback — weaker, but still catches a
-  # missing key or an empty document.
-  for key in schema_version experiment config widths trials seed results \
-             scheme pattern congestion mean ci95 p50 p95 p99 bank_requests; do
-    if ! printf '%s' "$OUT" | grep -q "\"$key\""; then
-      echo "metrics schema violation: missing key '$key'" >&2
-      exit 1
-    fi
-  done
-  echo "metrics schema OK (grep fallback; install python3 for full checks)"
-fi

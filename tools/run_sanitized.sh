@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the whole tree with ASan + UBSan (RAPSIM_SANITIZE=ON) in a
+# dedicated build-asan/ directory and run the tier-1 test suite under the
+# instrumented binaries.
+#
+#   tools/run_sanitized.sh [extra ctest args...]
+#
+# Keeps the regular build/ untouched; re-runs are incremental.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-asan"
+
+cmake -B "$BUILD" -S "$ROOT" -DRAPSIM_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD" -j "$(nproc)"
+
+# halt_on_error keeps a UBSan report from scrolling past unnoticed;
+# detect_leaks stays on (the default) to catch allocator misuse in tests.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "$BUILD"
+ctest --output-on-failure -j "$(nproc)" "$@"
