@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analyze/passes.hpp"
 #include "core/congestion.hpp"
 #include "core/factory.hpp"
 
@@ -108,6 +109,29 @@ Advice evaluate_schemes(const std::vector<WarpTrace>& traces,
     why << " " << core::scheme_name(cert.scheme)
         << (cert.exact() ? "=" : "<=") << cert.bound << " [" << cert.rule
         << "]";
+  }
+  advice.rationale = why.str();
+  return advice;
+}
+
+Advice evaluate_kernel(const analyze::KernelDesc& kernel,
+                       std::uint32_t draws, std::uint64_t seed) {
+  Advice advice = evaluate_schemes(analyze::enumerate_warp_traces(kernel),
+                                   kernel.width, kernel.rows, draws, seed);
+
+  // Upgrade the certificates from per-trace to whole-kernel: the symbolic
+  // passes close over every binding, so the cited bound holds for warps
+  // the materialized sample never produced.
+  std::ostringstream why;
+  why << advice.rationale << "; whole-kernel (all "
+      << kernel.binding_count() << " bindings):";
+  for (std::size_t idx = 0; idx < advice.certificates.size(); ++idx) {
+    const analyze::KernelAnalysis analysis =
+        analyze::analyze_kernel(kernel, advice.certificates[idx].scheme);
+    advice.certificates[idx] = analysis.worst;
+    why << " " << core::scheme_name(analysis.scheme)
+        << (analysis.worst.exact() ? "=" : "<=") << analysis.worst.bound
+        << " [" << analysis.worst.rule << "]";
   }
   advice.rationale = why.str();
   return advice;

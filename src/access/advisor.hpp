@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analyze/certificate.hpp"
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 
 namespace rapsim::access {
@@ -53,5 +54,15 @@ struct Advice {
                                       std::uint32_t width, std::uint64_t rows,
                                       std::uint32_t draws = 32,
                                       std::uint64_t seed = 1);
+
+/// Advise on a kernel described in the loop-nest IR. The Monte Carlo
+/// scores run on representative warp traces materialized from the IR (one
+/// per residue class, analyze/passes.hpp), but the certificates come from
+/// the whole-kernel symbolic closure — they cover EVERY binding of the
+/// loop variables, not just the materialized sample, so the rationale's
+/// proof claims are strictly stronger than in evaluate_schemes.
+[[nodiscard]] Advice evaluate_kernel(const analyze::KernelDesc& kernel,
+                                     std::uint32_t draws = 32,
+                                     std::uint64_t seed = 1);
 
 }  // namespace rapsim::access

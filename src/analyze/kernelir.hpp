@@ -1,0 +1,142 @@
+// Loop-nest kernel IR (static analysis, pillar 3).
+//
+// The per-warp prover (analyze/certificate.hpp) certifies ONE concrete
+// address stream; the paper's claims are statements about every warp of a
+// kernel across every loop iteration. This IR describes a kernel at that
+// level: a set of bound loop variables (the warp index is just another
+// variable) and shared-memory access sites whose indices are affine in
+// {lane, loop vars, constants}. The symbolic passes (analyze/passes.hpp)
+// then close over all bindings and certify the worst warp without
+// enumerating the cross product.
+//
+// Three index forms cover the paper's kernels:
+//
+//   kFlat    addr(lane, vars) = c0 + c_lane*lane + sum c_v * v
+//            (transpose reads/writes, matmul, reduction, Table IV axes)
+//   kRowCol  addr = (row_base + (row_expr mod row_mod)) * w + col_expr mod w
+//            with row_expr/col_expr affine; row_mod = 0 means no wrap.
+//            (the diagonal DRDW transpose, whose row index wraps mod w)
+//   kOpaque  an arbitrary callback (lane, binding) -> address, analyzed by
+//            bounded enumeration (bitonic's bit-twiddled pair indexing)
+//
+// A simple line-based text format (parse_kernel_text) lets users lint
+// their own kernels without writing C++; the built-in kernels in
+// tools/builtin_kernels.cpp are constructed directly.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rapsim::analyze {
+
+/// One bound loop variable; it takes the values 0, 1, ..., count-1. The
+/// warp index of a multi-warp kernel is expressed as a LoopVar too
+/// (conventionally named "warp").
+struct LoopVar {
+  std::string name;
+  std::uint64_t count = 1;
+};
+
+/// Affine expression c0 + lane_coeff * lane + sum coeffs[v] * binding[v].
+/// `coeffs` is indexed like KernelDesc::vars; missing trailing entries
+/// are treated as zero.
+struct AffineExpr {
+  std::int64_t base = 0;
+  std::int64_t lane_coeff = 0;
+  std::vector<std::int64_t> coeffs;
+
+  [[nodiscard]] std::int64_t coeff(std::size_t var) const noexcept {
+    return var < coeffs.size() ? coeffs[var] : 0;
+  }
+  /// Value at a concrete (lane, binding).
+  [[nodiscard]] std::int64_t eval(
+      std::uint32_t lane, std::span<const std::uint64_t> binding) const;
+  /// Human-readable rendering, e.g. "32 + 1*lane + 32*u".
+  [[nodiscard]] std::string describe(
+      const std::vector<LoopVar>& vars) const;
+};
+
+enum class AccessDir { kLoad, kStore, kAtomic };
+
+[[nodiscard]] const char* access_dir_name(AccessDir dir) noexcept;
+
+enum class IndexForm { kFlat, kRowCol, kOpaque };
+
+/// Callback form for indices the affine language cannot express. Must be
+/// a pure function of (lane, binding).
+using OpaqueIndexFn = std::function<std::uint64_t(
+    std::uint32_t lane, std::span<const std::uint64_t> binding)>;
+
+/// One shared-memory access site of the kernel: every binding of the loop
+/// variables issues one warp-instruction whose lane t touches the
+/// address the index expressions give.
+struct AccessSite {
+  std::string name;              // e.g. "write B[j][i]"
+  AccessDir dir = AccessDir::kLoad;
+  IndexForm form = IndexForm::kFlat;
+  std::uint32_t lanes = 0;       // active lanes per warp; 0 = full width
+
+  AffineExpr flat;               // kFlat: the logical address
+
+  AffineExpr row;                // kRowCol: row index (pre-wrap)
+  AffineExpr col;                // kRowCol: column, reduced mod width
+  std::uint64_t row_mod = 0;     // kRowCol: 0 = no wrap
+  std::int64_t row_base = 0;     // kRowCol: added after the wrap
+
+  OpaqueIndexFn opaque;          // kOpaque
+};
+
+/// A kernel: geometry (memory = rows x width, row-major), bound loop
+/// variables, and the access sites. Sites are analyzed independently —
+/// congestion is a per-warp-instruction property, so inter-site ordering
+/// carries no information the passes need.
+struct KernelDesc {
+  std::string name;
+  std::uint32_t width = 32;      // banks / lanes per warp (the paper's w)
+  std::uint64_t rows = 0;        // memory words = rows * width
+  std::vector<LoopVar> vars;
+  std::vector<AccessSite> sites;
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return rows * width;
+  }
+  /// Index of the named variable, or vars.size() when absent.
+  [[nodiscard]] std::size_t var_index(std::string_view name) const noexcept;
+  /// Total number of bindings (product of the trip counts; saturates).
+  [[nodiscard]] std::uint64_t binding_count() const noexcept;
+};
+
+/// Structural validation: positive geometry, lanes <= width, distinct var
+/// names, non-zero trip counts, coefficient vectors no longer than vars,
+/// opaque sites carrying a callback. Returns every violation (empty =
+/// valid); the passes throw std::invalid_argument on the first one.
+[[nodiscard]] std::vector<std::string> validate_kernel(
+    const KernelDesc& kernel);
+
+/// Materialize the concrete warp trace of `site` under `binding` (one
+/// value per kernel var, in order). Addresses are returned as signed
+/// values so out-of-range expressions stay visible to the caller.
+[[nodiscard]] std::vector<std::int64_t> materialize_site(
+    const KernelDesc& kernel, const AccessSite& site,
+    std::span<const std::uint64_t> binding);
+
+/// Parse the lint text format (see DESIGN.md "rapsim-lint"):
+///
+///   kernel naive-transpose
+///   width 32            # optional; defaults to `default_width`
+///   rows 64
+///   var u 32
+///   site read-a  load  flat lane=1 u=32
+///   site write-b store flat lane=32 u=1 const=1024
+///   site write-d store row lane=1 u=1 mod=32 base=32 col lane=1
+///
+/// Comments run from '#' to end of line. Throws std::invalid_argument
+/// with a line number on malformed input.
+[[nodiscard]] KernelDesc parse_kernel_text(const std::string& text,
+                                           std::uint32_t default_width = 32);
+
+}  // namespace rapsim::analyze

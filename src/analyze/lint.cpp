@@ -1,0 +1,229 @@
+#include "analyze/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace rapsim::analyze {
+
+namespace {
+
+std::string format_bound(const CongestionCertificate& cert) {
+  std::ostringstream out;
+  if (cert.exact()) {
+    out << static_cast<std::uint64_t>(cert.bound);
+  } else {
+    out.precision(3);
+    out << "E<=" << cert.bound;
+  }
+  return out.str();
+}
+
+std::string witness_string(const SiteAnalysis& analysis) {
+  std::ostringstream out;
+  for (std::size_t v = 0; v < analysis.witness.size(); ++v) {
+    if (v != 0) out << ", ";
+    out << analysis.witness[v].first << "=" << analysis.witness[v].second;
+  }
+  return out.str();
+}
+
+/// Propose a scheme change if it provably lowers this site's bound.
+void try_scheme_fixit(const KernelDesc& kernel, const AccessSite& site,
+                      const SiteAnalysis& current, core::Scheme candidate,
+                      const std::string& action,
+                      std::vector<FixIt>& fixits) {
+  const SiteAnalysis repaired = analyze_site(kernel, site, candidate);
+  if (repaired.out_of_bounds || repaired.cert.bound >= current.cert.bound) {
+    return;
+  }
+  std::ostringstream detail;
+  detail << "worst-warp congestion drops from " << format_bound(current.cert)
+         << " to " << format_bound(repaired.cert) << " (rule "
+         << repaired.cert.rule << ")";
+  fixits.push_back({action, detail.str()});
+}
+
+/// Propose swapping the lane with a loop variable (the "transpose the
+/// traversal" repair) when re-analysis proves it helps. Flat sites only:
+/// the swap is a syntactic exchange of coefficients.
+void try_swap_fixit(const KernelDesc& kernel, const AccessSite& site,
+                    const SiteAnalysis& current, core::Scheme scheme,
+                    std::vector<FixIt>& fixits) {
+  if (site.form != IndexForm::kFlat) return;
+  for (std::size_t v = 0; v < kernel.vars.size(); ++v) {
+    if (site.flat.coeff(v) == site.flat.lane_coeff) continue;
+    if (kernel.vars[v].count < kernel.width) continue;  // not a full swap
+    AccessSite swapped = site;
+    swapped.flat.coeffs.assign(kernel.vars.size(), 0);
+    for (std::size_t u = 0; u < kernel.vars.size(); ++u) {
+      swapped.flat.coeffs[u] = site.flat.coeff(u);
+    }
+    std::swap(swapped.flat.lane_coeff, swapped.flat.coeffs[v]);
+    const SiteAnalysis repaired = analyze_site(kernel, swapped, scheme);
+    if (repaired.out_of_bounds ||
+        repaired.cert.bound >= current.cert.bound) {
+      continue;
+    }
+    std::ostringstream detail;
+    detail << "exchange lane with loop variable '" << kernel.vars[v].name
+           << "': worst-warp congestion drops from "
+           << format_bound(current.cert) << " to "
+           << format_bound(repaired.cert) << " (rule " << repaired.cert.rule
+           << ")";
+    fixits.push_back({"swap loop order", detail.str()});
+    return;  // one swap suggestion is enough
+  }
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+bool LintReport::clean() const noexcept {
+  return severity() == Severity::kInfo;
+}
+
+Severity LintReport::severity() const noexcept {
+  Severity top = Severity::kInfo;
+  for (const Diagnostic& diag : diagnostics) {
+    if (static_cast<int>(diag.severity) > static_cast<int>(top)) {
+      top = diag.severity;
+    }
+  }
+  return top;
+}
+
+LintReport lint_kernel(const KernelDesc& kernel, core::Scheme scheme) {
+  const KernelAnalysis analysis = analyze_kernel(kernel, scheme);
+
+  LintReport report;
+  report.kernel = kernel.name;
+  report.width = kernel.width;
+  report.rows = kernel.rows;
+  report.scheme = scheme;
+  report.worst = analysis.worst;
+  report.worst_site = analysis.worst_site;
+
+  for (std::size_t s = 0; s < analysis.sites.size(); ++s) {
+    const SiteAnalysis& sa = analysis.sites[s];
+    const AccessSite& site = kernel.sites[s];
+    Diagnostic diag;
+    diag.site = sa.site;
+    diag.dir = sa.dir;
+    diag.analysis = sa;
+
+    std::ostringstream message;
+    if (sa.out_of_bounds) {
+      diag.severity = Severity::kError;
+      message << "some binding addresses words [" << sa.address_low << ", "
+              << sa.address_high << "], outside the " << kernel.size()
+              << "-word memory (witness " << witness_string(sa) << ")";
+    } else if (sa.cert.exact() && sa.cert.bound > 1.0) {
+      diag.severity = Severity::kWarning;
+      message << "worst warp serializes "
+              << static_cast<std::uint64_t>(sa.cert.bound)
+              << "-way on a bank every run (rule " << sa.cert.rule
+              << "; witness " << witness_string(sa) << ")";
+      try_scheme_fixit(kernel, site, sa, core::Scheme::kPad, "apply PAD(+1)",
+                       diag.fixits);
+      try_scheme_fixit(kernel, site, sa, core::Scheme::kRap, "apply RAP",
+                       diag.fixits);
+      try_swap_fixit(kernel, site, sa, scheme, diag.fixits);
+    } else if (sa.cert.exact()) {
+      message << "conflict-free: worst-warp congestion 1 over all "
+              << sa.binding_count << " bindings (rule " << sa.cert.rule
+              << ")";
+    } else {
+      message << "expected worst-warp congestion <= " << sa.cert.bound
+              << " under randomized " << core::scheme_name(scheme)
+              << " (rule " << sa.cert.rule << ")";
+    }
+    diag.message = message.str();
+    report.diagnostics.push_back(std::move(diag));
+  }
+  return report;
+}
+
+std::string lint_report_json(const LintReport& report) {
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.kv("kernel", report.kernel);
+  json.kv("width", static_cast<std::uint64_t>(report.width));
+  json.kv("rows", report.rows);
+  json.kv("scheme", core::scheme_name(report.scheme));
+  json.kv("severity", severity_name(report.severity()));
+  json.kv("clean", report.clean());
+  json.key("worst");
+  json.raw_value(report.worst.to_json());
+  json.kv("worst_site",
+          report.worst_site < report.diagnostics.size()
+              ? report.diagnostics[report.worst_site].site
+              : std::string());
+  json.key("diagnostics");
+  json.begin_array();
+  for (const Diagnostic& diag : report.diagnostics) {
+    const SiteAnalysis& sa = diag.analysis;
+    json.begin_object();
+    json.kv("severity", severity_name(diag.severity));
+    json.kv("site", diag.site);
+    json.kv("dir", access_dir_name(diag.dir));
+    json.kv("message", diag.message);
+    json.key("certificate");
+    json.raw_value(sa.cert.to_json());
+    json.kv("rule", sa.cert.rule);
+    json.kv("coverage", coverage_name(sa.coverage));
+    json.kv("bindings", sa.binding_count);
+    json.kv("classes", sa.classes_analyzed);
+    json.kv("out_of_bounds", sa.out_of_bounds);
+    json.key("witness");
+    json.begin_object();
+    for (const auto& [name, value] : sa.witness) json.kv(name, value);
+    json.end_object();
+    json.key("witness_trace");
+    json.begin_array();
+    for (const std::uint64_t addr : sa.witness_trace) json.value(addr);
+    json.end_array();
+    json.key("fixits");
+    json.begin_array();
+    for (const FixIt& fixit : diag.fixits) {
+      json.begin_object();
+      json.kv("action", fixit.action);
+      json.kv("detail", fixit.detail);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string lint_report_text(const LintReport& report) {
+  std::ostringstream out;
+  out << report.kernel << " (w=" << report.width << ", rows=" << report.rows
+      << ", scheme=" << core::scheme_name(report.scheme) << "): "
+      << (report.clean() ? "clean" : severity_name(report.severity()))
+      << ", worst-warp bound " << format_bound(report.worst) << "\n";
+  for (const Diagnostic& diag : report.diagnostics) {
+    out << "  [" << severity_name(diag.severity) << "] "
+        << access_dir_name(diag.dir) << " '" << diag.site
+        << "': " << diag.message << "\n";
+    for (const FixIt& fixit : diag.fixits) {
+      out << "      fix-it: " << fixit.action << " — " << fixit.detail
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rapsim::analyze

@@ -1,0 +1,91 @@
+// Kernel lint: diagnostics and fix-its on top of the symbolic passes
+// (static analysis, pillar 3 — the user-facing layer).
+//
+// lint_kernel runs analyze_kernel under the scheme the kernel currently
+// uses (RAW for an unprotected kernel) and turns each site's certificate
+// into a diagnostic:
+//
+//   error    some binding addresses memory out of bounds
+//   warning  a deterministic (exact) congestion > 1 is proven — the worst
+//            warp serializes on a bank every single run
+//   info     the site is conflict-free, or the scheme is randomized and
+//            only an expected-value envelope applies
+//
+// Every warning carries the worst-warp witness (the binding and its
+// materialized trace) and fix-it suggestions computed by re-running the
+// passes under candidate repairs:
+//
+//   "apply PAD(+1)"     re-analyze under core::Scheme::kPad
+//   "apply RAP"         re-analyze under core::Scheme::kRap
+//   "swap loop order"   exchange the lane coefficient with a loop
+//                       variable's (flat sites only) and re-analyze —
+//                       the static cure when a transposed traversal is
+//                       available
+//
+// A fix-it is only suggested when it provably lowers the site's bound;
+// its detail quotes both bounds and the proof rule of the repaired form.
+// The JSON rendering is validated by tools/check_lint_schema.sh; the
+// rapsim-lint CLI (tools/rapsim_lint.cpp) drives this over the built-in
+// kernel catalog and user kernels in the text format.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/kernelir.hpp"
+#include "analyze/passes.hpp"
+
+namespace rapsim::analyze {
+
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+
+struct FixIt {
+  std::string action;  // machine-actionable: "apply PAD(+1)", "apply RAP",
+                       // "swap loop order"
+  std::string detail;  // human-readable effect, with both bounds + rule
+};
+
+/// One diagnostic per access site (clean sites get an info entry so a
+/// report always accounts for every site).
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string site;
+  AccessDir dir = AccessDir::kLoad;
+  std::string message;
+  SiteAnalysis analysis;       // certificate, witness, coverage, bounds
+  std::vector<FixIt> fixits;   // empty for info diagnostics
+};
+
+struct LintReport {
+  std::string kernel;
+  std::uint32_t width = 0;
+  std::uint64_t rows = 0;
+  core::Scheme scheme = core::Scheme::kRaw;
+  std::vector<Diagnostic> diagnostics;  // aligned with KernelDesc::sites
+  CongestionCertificate worst;          // whole-kernel worst-site claim
+  std::size_t worst_site = 0;
+
+  /// No warnings and no errors: the kernel is certified conflict-free
+  /// (or covered by an expected-value envelope) under its scheme.
+  [[nodiscard]] bool clean() const noexcept;
+  /// Highest severity present.
+  [[nodiscard]] Severity severity() const noexcept;
+};
+
+/// Lint a kernel as running under `scheme`. Throws std::invalid_argument
+/// on an invalid kernel or unsupported scheme (same contract as
+/// analyze_kernel).
+[[nodiscard]] LintReport lint_kernel(const KernelDesc& kernel,
+                                     core::Scheme scheme = core::Scheme::kRaw);
+
+/// JSON document (schema: tools/check_lint_schema.sh / DESIGN.md).
+[[nodiscard]] std::string lint_report_json(const LintReport& report);
+
+/// Compiler-style human-readable rendering.
+[[nodiscard]] std::string lint_report_text(const LintReport& report);
+
+}  // namespace rapsim::analyze

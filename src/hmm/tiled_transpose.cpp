@@ -1,6 +1,7 @@
 #include "hmm/tiled_transpose.hpp"
 
 #include <memory>
+#include <stdexcept>
 
 #include "core/factory.hpp"
 
@@ -118,6 +119,48 @@ TiledTransposeReport run_tiled_transpose(TransposeStrategy strategy,
     }
   }
   return report;
+}
+
+analyze::KernelDesc describe_tiled_transpose_shared(
+    TransposeStrategy strategy, std::uint32_t width) {
+  if (strategy == TransposeStrategy::kNaive) {
+    throw std::invalid_argument(
+        "describe_tiled_transpose_shared: the naive strategy never touches "
+        "shared memory");
+  }
+  using analyze::AccessDir;
+  using analyze::AccessSite;
+  using analyze::IndexForm;
+  const std::int64_t w = width;
+
+  analyze::KernelDesc kernel;
+  kernel.name = std::string("tiled-transpose-") + strategy_name(strategy);
+  kernel.width = width;
+  kernel.rows = width;  // one w x w tile
+  kernel.vars = {{"u", width}};  // warp index = tile row i
+
+  AccessSite stage;
+  stage.name = "stage tile[i][*]";
+  stage.dir = AccessDir::kStore;
+  AccessSite drain;
+  drain.name = "drain tile[*][i]";
+  drain.dir = AccessDir::kLoad;
+  if (strategy == TransposeStrategy::kTiled) {
+    // In: tile[i][j] = u*w + lane (rows). Out: tile[j][i] = lane*w + u
+    // (columns — the classic stride-w bank conflict under RAW).
+    stage.flat = {0, 1, {w}};
+    drain.flat = {0, w, {1}};
+  } else {
+    // Diagonal skew c = (i + j) % w on the column of both phases.
+    stage.form = IndexForm::kRowCol;
+    stage.row = {0, 0, {1}};
+    stage.col = {0, 1, {1}};
+    drain.form = IndexForm::kRowCol;
+    drain.row = {0, 1, {0}};
+    drain.col = {0, 1, {1}};
+  }
+  kernel.sites = {std::move(stage), std::move(drain)};
+  return kernel;
 }
 
 }  // namespace rapsim::hmm

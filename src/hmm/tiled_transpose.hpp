@@ -25,6 +25,7 @@
 
 #include <cstdint>
 
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 #include "hmm/hmm.hpp"
 
@@ -65,6 +66,13 @@ struct TiledTransposeReport {
     return stats.global_time * global_cost_weight + stats.shared_time;
   }
 };
+
+/// Loop-nest IR of the SHARED-memory side of one tile step (the part the
+/// banked-memory passes can certify; the global side is a coalescing
+/// question, not a bank question). Only kTiled and kTiledDiagonal touch
+/// shared memory; kNaive throws std::invalid_argument.
+[[nodiscard]] analyze::KernelDesc describe_tiled_transpose_shared(
+    TransposeStrategy strategy, std::uint32_t width);
 
 /// Transpose an N x N matrix (A at global [0, N^2), B at [N^2, 2 N^2))
 /// with `strategy`; `scheme` selects the shared-memory layout (ignored by

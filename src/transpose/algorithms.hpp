@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "analyze/kernelir.hpp"
 #include "dmm/kernel.hpp"
 
 namespace rapsim::transpose {
@@ -50,5 +51,11 @@ struct MatrixPair {
 /// Build the two-instruction transpose kernel for `algorithm` on `layout`.
 [[nodiscard]] dmm::Kernel build_kernel(Algorithm algorithm,
                                        const MatrixPair& layout);
+
+/// Loop-nest IR description of the same kernel for the symbolic passes:
+/// warp u = thread row i, lane = thread column j. The differential test
+/// checks the IR's certified worst warp against the simulated kernel.
+[[nodiscard]] analyze::KernelDesc describe_kernel(Algorithm algorithm,
+                                                  const MatrixPair& layout);
 
 }  // namespace rapsim::transpose

@@ -48,6 +48,50 @@ dmm::Kernel build_bitonic_kernel(std::uint64_t n, std::uint32_t width) {
   return kernel;
 }
 
+analyze::KernelDesc describe_bitonic_kernel(std::uint64_t n,
+                                            std::uint32_t width) {
+  if (n < 2 || (n & (n - 1)) != 0 || n % (2ull * width) != 0) {
+    throw std::invalid_argument(
+        "describe_bitonic_kernel: n must be a power of two multiple of 2w");
+  }
+  using analyze::AccessDir;
+  using analyze::AccessSite;
+  using analyze::IndexForm;
+
+  analyze::KernelDesc kernel;
+  kernel.name = "bitonic";
+  kernel.width = width;
+  kernel.rows = n / width;
+  kernel.vars = {{"u", (n / 2) / width}};
+
+  // The lo/hi streams depend only on the partner distance j (the stage k
+  // only flips which register lands where), so one site pair per j.
+  for (std::uint64_t j = n / 2; j >= 1; j /= 2) {
+    const auto make = [width, j](bool hi) {
+      return [width, j, hi](std::uint32_t lane,
+                            std::span<const std::uint64_t> binding) {
+        const std::uint64_t t =
+            (binding.empty() ? 0 : binding[0]) * width + lane;
+        const std::uint64_t i = ((t & ~(j - 1)) << 1) | (t & (j - 1));
+        return hi ? (i | j) : i;
+      };
+    };
+    AccessSite lo;
+    lo.name = "pair(j=" + std::to_string(j) + ").lo";
+    lo.dir = AccessDir::kLoad;  // loaded and stored: identical streams
+    lo.form = IndexForm::kOpaque;
+    lo.opaque = make(false);
+    AccessSite hi;
+    hi.name = "pair(j=" + std::to_string(j) + ").hi";
+    hi.dir = AccessDir::kLoad;
+    hi.form = IndexForm::kOpaque;
+    hi.opaque = make(true);
+    kernel.sites.push_back(std::move(lo));
+    kernel.sites.push_back(std::move(hi));
+  }
+  return kernel;
+}
+
 BitonicReport run_bitonic_sort(core::Scheme scheme, std::uint64_t n,
                                std::uint32_t width, std::uint32_t latency,
                                std::uint64_t seed) {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/machine.hpp"
@@ -34,6 +35,14 @@ namespace rapsim::workloads {
 /// n a power of two multiple of 2w, using n/2 threads.
 [[nodiscard]] dmm::Kernel build_bitonic_kernel(std::uint64_t n,
                                                std::uint32_t width);
+
+/// Loop-nest IR of the network for the symbolic passes. The pair indexing
+/// (insert a zero bit at the partner-distance position) is not affine, so
+/// the sites are opaque callbacks analyzed by bounded enumeration; the
+/// address streams depend only on the partner distance j, so the IR has
+/// one lo/hi site pair per distinct j rather than per round.
+[[nodiscard]] analyze::KernelDesc describe_bitonic_kernel(
+    std::uint64_t n, std::uint32_t width);
 
 struct BitonicReport {
   bool sorted = false;

@@ -20,6 +20,37 @@ std::vector<std::uint32_t> make_input(const HistogramConfig& config,
   return input;
 }
 
+analyze::KernelDesc describe_histogram_kernel(const HistogramConfig& config) {
+  if (config.bins == 0 || config.bins % config.width != 0) {
+    throw std::invalid_argument(
+        "describe_histogram_kernel: bins must be a multiple of width");
+  }
+  using analyze::AccessDir;
+  using analyze::AccessSite;
+  const std::int64_t bins = config.bins;
+
+  analyze::KernelDesc kernel;
+  kernel.name = "histogram";
+  kernel.width = config.width;
+  kernel.rows = config.bins + 1;  // w sub-histograms + the scratch row
+  kernel.vars = {{"bin", config.bins}};
+
+  // The broadcast load of the increment constant: one address, merged.
+  AccessSite load_one;
+  load_one.name = "load scratch(1)";
+  load_one.dir = AccessDir::kLoad;
+  load_one.flat = {static_cast<std::int64_t>(config.width) * bins, 0, {0}};
+
+  // subhist[t][bin] = t*bins + bin for a warp-uniform bin value.
+  AccessSite increment;
+  increment.name = "atomic subhist[t][bin]";
+  increment.dir = AccessDir::kAtomic;
+  increment.flat = {0, bins, {1}};
+
+  kernel.sites = {std::move(load_one), std::move(increment)};
+  return kernel;
+}
+
 HistogramReport run_histogram(const HistogramConfig& config,
                               core::Scheme scheme,
                               std::span<const std::uint32_t> input,

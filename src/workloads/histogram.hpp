@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 #include "dmm/machine.hpp"
 
@@ -44,6 +45,14 @@ struct HistogramReport {
 /// fully degenerate.
 [[nodiscard]] std::vector<std::uint32_t> make_input(
     const HistogramConfig& config, double skew, std::uint64_t seed);
+
+/// Loop-nest IR of the histogram for the symbolic passes. The "bin"
+/// variable closes over every possible warp-uniform value (the skewed
+/// case the layout trap punishes): the atomic site's addresses are
+/// lane*bins + bin — distinct across lanes, yet all in bank (bin mod w)
+/// under RAW when bins is a multiple of w.
+[[nodiscard]] analyze::KernelDesc describe_histogram_kernel(
+    const HistogramConfig& config);
 
 /// Run the privatized histogram under `scheme` and verify the counts.
 [[nodiscard]] HistogramReport run_histogram(const HistogramConfig& config,

@@ -49,6 +49,45 @@ dmm::Kernel build_matmul_kernel(MatmulLayout layout,
   return kernel;
 }
 
+analyze::KernelDesc describe_matmul_kernel(MatmulLayout layout,
+                                           const MatmulArrays& arrays) {
+  using analyze::AccessDir;
+  using analyze::AccessSite;
+  const std::int64_t w = arrays.width;
+
+  analyze::KernelDesc kernel;
+  kernel.name = layout == MatmulLayout::kRowMajorB ? "matmul-rowmajorB"
+                                                   : "matmul-transposedB";
+  kernel.width = arrays.width;
+  kernel.rows = arrays.rows();
+  kernel.vars = {{"u", arrays.width}, {"k", arrays.width}};
+
+  // A[i][k] = u*w + k: one address per warp (CRCW-merged broadcast).
+  AccessSite load_a;
+  load_a.name = "load A[i][k]";
+  load_a.dir = AccessDir::kLoad;
+  load_a.flat = {0, 0, {w, 1}};
+
+  // Row-major B[k][j] = w^2 + k*w + lane (a row: conflict-free);
+  // transposed Bt[j][k] = w^2 + lane*w + k (a column: the stride trap).
+  AccessSite load_b;
+  load_b.name = layout == MatmulLayout::kRowMajorB ? "load B[k][j]"
+                                                   : "load Bt[j][k]";
+  load_b.dir = AccessDir::kLoad;
+  load_b.flat = layout == MatmulLayout::kRowMajorB
+                    ? analyze::AffineExpr{w * w, 1, {0, w}}
+                    : analyze::AffineExpr{w * w, w, {0, 1}};
+
+  // C[i][j] = 2w^2 + u*w + lane (a row).
+  AccessSite store_c;
+  store_c.name = "store C[i][j]";
+  store_c.dir = AccessDir::kStore;
+  store_c.flat = {2 * w * w, 1, {w, 0}};
+
+  kernel.sites = {std::move(load_a), std::move(load_b), std::move(store_c)};
+  return kernel;
+}
+
 MatmulReport run_matmul(MatmulLayout layout, core::Scheme scheme,
                         std::uint32_t width, std::uint32_t latency,
                         std::uint64_t seed) {

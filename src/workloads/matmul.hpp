@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/machine.hpp"
@@ -50,6 +51,12 @@ struct MatmulArrays {
 /// Build the w^2-thread multiply kernel.
 [[nodiscard]] dmm::Kernel build_matmul_kernel(MatmulLayout layout,
                                               const MatmulArrays& arrays);
+
+/// Loop-nest IR of the multiply for the symbolic passes: warp u = thread
+/// row i, lane = thread column j, loop variable k = the accumulation
+/// step. All four access sites are affine.
+[[nodiscard]] analyze::KernelDesc describe_matmul_kernel(
+    MatmulLayout layout, const MatmulArrays& arrays);
 
 struct MatmulReport {
   bool correct = false;

@@ -53,6 +53,79 @@ dmm::Kernel build_reduction_kernel(ReductionVariant variant, std::uint64_t n,
   return kernel;
 }
 
+analyze::KernelDesc describe_reduction_kernel(ReductionVariant variant,
+                                              std::uint64_t n,
+                                              std::uint32_t width) {
+  if (n < 2 || (n & (n - 1)) != 0 || n % width != 0) {
+    throw std::invalid_argument(
+        "describe_reduction_kernel: n must be a power of two multiple of w");
+  }
+  using analyze::AccessDir;
+  using analyze::AccessSite;
+
+  analyze::KernelDesc kernel;
+  kernel.name =
+      std::string("reduction-") + reduction_variant_name(variant);
+  kernel.width = width;
+  kernel.rows = n / width;
+
+  std::size_t step = 0;
+  for (std::uint64_t active = n / 2; active >= 1; active /= 2, ++step) {
+    const std::string prefix = "s" + std::to_string(step);
+    // Lanes and the step's warp variable: full warps while active >= w,
+    // a partial warp (and no variable) below that.
+    const std::uint32_t lanes =
+        active >= width ? width : static_cast<std::uint32_t>(active);
+    std::int64_t warp_coeff = 0;
+    std::size_t var = kernel.vars.size();
+    if (active > width) {
+      kernel.vars.push_back({"u" + std::to_string(step), active / width});
+    } else {
+      var = SIZE_MAX;  // single warp: no variable needed
+    }
+
+    std::int64_t lane_coeff = 0;
+    std::int64_t right_offset = 0;
+    if (variant == ReductionVariant::kInterleaved) {
+      const std::int64_t stride =
+          static_cast<std::int64_t>((n / 2) / active);  // 2^s
+      lane_coeff = 2 * stride;
+      warp_coeff = 2 * stride * width;
+      right_offset = stride;  // left + 2^s
+    } else {
+      lane_coeff = 1;
+      warp_coeff = width;
+      right_offset = static_cast<std::int64_t>(active);  // left + n/2^(s+1)
+    }
+
+    const auto make_expr = [&](std::int64_t base) {
+      analyze::AffineExpr expr;
+      expr.base = base;
+      expr.lane_coeff = lane_coeff;
+      if (var != SIZE_MAX) {
+        expr.coeffs.assign(kernel.vars.size(), 0);
+        expr.coeffs[var] = warp_coeff;
+      }
+      return expr;
+    };
+    AccessSite left;
+    left.name = prefix + ".left";
+    left.dir = AccessDir::kStore;  // also loaded; the stream is identical
+    left.lanes = lanes;
+    left.flat = make_expr(0);
+    AccessSite right;
+    right.name = prefix + ".right";
+    right.dir = AccessDir::kLoad;
+    right.lanes = lanes;
+    right.flat = make_expr(right_offset);
+    kernel.sites.push_back(std::move(left));
+    kernel.sites.push_back(std::move(right));
+  }
+  // Earlier steps referenced shorter coefficient vectors; that is fine —
+  // AffineExpr treats missing trailing coefficients as zero.
+  return kernel;
+}
+
 ReductionReport run_reduction(ReductionVariant variant, core::Scheme scheme,
                               std::uint64_t n, std::uint32_t width,
                               std::uint32_t latency, std::uint64_t seed,

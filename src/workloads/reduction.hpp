@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/machine.hpp"
@@ -38,6 +39,13 @@ enum class ReductionVariant { kInterleaved, kSequential };
 [[nodiscard]] dmm::Kernel build_reduction_kernel(ReductionVariant variant,
                                                  std::uint64_t n,
                                                  std::uint32_t width);
+
+/// Loop-nest IR of the reduction for the symbolic passes. Each step s
+/// contributes two sites — the left stream (read AND written back) and
+/// the right stream — with the step's stride baked in as constants and
+/// its own warp variable (the active thread count halves every step).
+[[nodiscard]] analyze::KernelDesc describe_reduction_kernel(
+    ReductionVariant variant, std::uint64_t n, std::uint32_t width);
 
 struct ReductionReport {
   bool correct = false;       // x[0] == sum of inputs

@@ -107,5 +107,39 @@ TEST(Advisor, DeterministicInSeed) {
   EXPECT_EQ(a.recommended, b.recommended);
 }
 
+TEST(Advisor, EvaluateKernelCertifiesEveryBindingNotJustTheSample) {
+  // Whole-kernel advice on the naive stride transpose: the recommendation
+  // still comes from the Monte Carlo scores, but the certificates must be
+  // the symbolic whole-kernel bounds — RAW pinned at exactly w, RAP at
+  // exactly 1 — and the rationale must say the closure covered all
+  // bindings.
+  const std::uint32_t w = 16;
+  analyze::KernelDesc kernel;
+  kernel.name = "stride-write";
+  kernel.width = w;
+  kernel.rows = w;
+  kernel.vars = {{"u", w}};
+  analyze::AccessSite site;
+  site.name = "write column u";
+  site.dir = analyze::AccessDir::kStore;
+  site.flat = {0, static_cast<std::int64_t>(w), {1}};
+  kernel.sites = {site};
+
+  const Advice advice = evaluate_kernel(kernel);
+  ASSERT_EQ(advice.scores.size(), 4u);
+  ASSERT_EQ(advice.certificates.size(), 4u);
+
+  const auto& raw = advice.certificates[0];  // canonical order: RAW first
+  EXPECT_TRUE(raw.exact());
+  EXPECT_EQ(raw.bound, 1.0 * w);
+  const auto& rap = advice.certificates[3];
+  EXPECT_TRUE(rap.exact());
+  EXPECT_EQ(rap.bound, 1.0);
+
+  EXPECT_NE(advice.rationale.find("whole-kernel"), std::string::npos);
+  EXPECT_NE(advice.rationale.find("bindings"), std::string::npos);
+  EXPECT_NE(advice.recommended, Scheme::kRaw);
+}
+
 }  // namespace
 }  // namespace rapsim::access

@@ -94,6 +94,58 @@ TEST(AffineClassify, SingleAddressIsConstant) {
   EXPECT_EQ(cls.base, 7u);
 }
 
+// --- Degenerate inputs end-to-end through the prover. ---
+
+TEST(AffineDegenerate, SingleLaneWarpIsConflictFreeUnderEveryScheme) {
+  // A one-thread "warp" issues one request: congestion 1, exactly, no
+  // matter which mapping is drawn.
+  const std::uint32_t w = 16;
+  const std::vector<std::uint64_t> lone = {5};
+  for (const Scheme scheme :
+       {Scheme::kRaw, Scheme::kPad, Scheme::kRas, Scheme::kRap}) {
+    const auto cert = prove_trace(lone, w, w * w, scheme);
+    EXPECT_TRUE(cert.exact()) << core::scheme_name(scheme);
+    EXPECT_EQ(cert.bound, 1.0) << core::scheme_name(scheme);
+  }
+}
+
+TEST(AffineDegenerate, AllLanesBroadcastMergesUnderEveryScheme) {
+  // Every lane touching the same word is one request after CRCW merging;
+  // the rule must certify that for any scheme, since a permutation of a
+  // single address is still a single address.
+  const std::uint32_t w = 32;
+  const std::vector<std::uint64_t> broadcast(w, 17);
+  EXPECT_EQ(classify_warp(broadcast, w, w * w).kind, AffineKind::kConstant);
+  for (const Scheme scheme :
+       {Scheme::kRaw, Scheme::kPad, Scheme::kRas, Scheme::kRap}) {
+    const auto cert = prove_trace(broadcast, w, w * w, scheme);
+    EXPECT_TRUE(cert.exact()) << core::scheme_name(scheme);
+    EXPECT_EQ(cert.bound, 1.0) << core::scheme_name(scheme);
+    EXPECT_EQ(cert.rule, "crcw-merge") << core::scheme_name(scheme);
+  }
+}
+
+TEST(AffineDegenerate, EmptyStreamCertifiesZeroCongestion) {
+  const std::uint32_t w = 8;
+  EXPECT_EQ(classify_warp({}, w, w * w).kind, AffineKind::kEmpty);
+  const auto cert = prove_trace({}, w, w * w, Scheme::kRaw);
+  EXPECT_TRUE(cert.exact());
+  EXPECT_EQ(cert.bound, 0.0);
+  EXPECT_EQ(cert.rule, "empty-warp");
+}
+
+TEST(AffineDegenerate, SingleBankMemoryStillClassifies) {
+  // w = 1: one bank, every address in "column" 0. The classifier must
+  // not divide by zero and the prover's bound equals the merged count.
+  const std::uint32_t w = 1;
+  const std::vector<std::uint64_t> trace = {0, 1, 2, 3};
+  const auto cls = classify_warp(trace, w, 4);
+  EXPECT_NE(cls.kind, AffineKind::kNotAffine);
+  const auto cert = prove_trace(trace, w, 4, Scheme::kRaw);
+  EXPECT_TRUE(cert.exact());
+  EXPECT_EQ(cert.bound, 4.0);
+}
+
 // --- Prover rules on the paper's Table I cells (w = 16). ---
 
 TEST(Prover, ContiguousIsConflictFreeEverywhere) {

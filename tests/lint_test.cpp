@@ -1,0 +1,122 @@
+// Tests for the kernel lint layer (analyze/lint.hpp) — including the
+// PR's acceptance criterion: the naive row-major stride transpose is
+// statically flagged as congestion-w with a worst-warp witness and
+// PAD/RAP fix-its, and the SAME kernel lints clean (congestion-1
+// certificate) once RAP is applied.
+
+#include "analyze/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "transpose/algorithms.hpp"
+
+namespace rapsim::analyze {
+namespace {
+
+using core::Scheme;
+
+bool has_fixit(const Diagnostic& diag, const std::string& action) {
+  return std::any_of(diag.fixits.begin(), diag.fixits.end(),
+                     [&](const FixIt& f) { return f.action == action; });
+}
+
+TEST(Lint, NaiveStrideTransposeIsFlaggedWithWitnessAndFixits) {
+  const transpose::MatrixPair layout{32};
+  const auto kernel =
+      transpose::describe_kernel(transpose::Algorithm::kCrsw, layout);
+  const LintReport report = lint_kernel(kernel, Scheme::kRaw);
+
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.severity(), Severity::kWarning);
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+
+  // The contiguous read is fine; the stride write is the finding.
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::kInfo);
+  const Diagnostic& write = report.diagnostics[1];
+  EXPECT_EQ(write.severity, Severity::kWarning);
+  EXPECT_EQ(write.dir, AccessDir::kStore);
+
+  // congestion-w, proven exactly, with the worst-warp witness attached.
+  EXPECT_TRUE(write.analysis.cert.exact());
+  EXPECT_EQ(write.analysis.cert.bound, 32.0);
+  ASSERT_EQ(write.analysis.witness.size(), 1u);
+  EXPECT_EQ(write.analysis.witness[0].first, "u");
+  EXPECT_EQ(write.analysis.witness_trace.size(), 32u);
+  EXPECT_EQ(report.worst_site, 1u);
+  EXPECT_EQ(report.worst.bound, 32.0);
+
+  // Fix-its: both repairs the paper discusses, plus the loop swap.
+  EXPECT_TRUE(has_fixit(write, "apply PAD(+1)"));
+  EXPECT_TRUE(has_fixit(write, "apply RAP"));
+  EXPECT_TRUE(has_fixit(write, "swap loop order"));
+}
+
+TEST(Lint, SameKernelLintsCleanUnderRap) {
+  const transpose::MatrixPair layout{32};
+  const auto kernel =
+      transpose::describe_kernel(transpose::Algorithm::kCrsw, layout);
+  const LintReport report = lint_kernel(kernel, Scheme::kRap);
+
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.severity(), Severity::kInfo);
+  // Not merely an expected-value envelope: a congestion-1 certificate.
+  EXPECT_TRUE(report.worst.exact());
+  EXPECT_EQ(report.worst.bound, 1.0);
+  for (const Diagnostic& diag : report.diagnostics) {
+    EXPECT_TRUE(diag.analysis.cert.exact());
+    EXPECT_EQ(diag.analysis.cert.bound, 1.0);
+    EXPECT_TRUE(diag.fixits.empty());
+  }
+}
+
+TEST(Lint, OutOfBoundsIsAnError) {
+  KernelDesc kernel;
+  kernel.name = "oob";
+  kernel.width = 8;
+  kernel.rows = 2;
+  kernel.vars = {{"u", 8}};
+  AccessSite site;
+  site.name = "runaway";
+  site.flat = {0, 1, {8}};  // u=2.. walks past 16 words
+  kernel.sites = {site};
+
+  const LintReport report = lint_kernel(kernel, Scheme::kRaw);
+  EXPECT_EQ(report.severity(), Severity::kError);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.diagnostics[0].analysis.cert.rule, "out-of-bounds");
+  // Scheme fix-its cannot repair an out-of-bounds index.
+  EXPECT_TRUE(report.diagnostics[0].fixits.empty());
+}
+
+TEST(Lint, JsonCarriesTheContractKeys) {
+  const transpose::MatrixPair layout{16};
+  const auto kernel =
+      transpose::describe_kernel(transpose::Algorithm::kCrsw, layout);
+  const std::string json = lint_report_json(lint_kernel(kernel, Scheme::kRaw));
+  for (const char* key :
+       {"\"kernel\"", "\"width\"", "\"rows\"", "\"scheme\"", "\"severity\"",
+        "\"clean\"", "\"worst\"", "\"diagnostics\"", "\"site\"", "\"dir\"",
+        "\"message\"", "\"certificate\"", "\"rule\"", "\"coverage\"",
+        "\"witness\"", "\"witness_trace\"", "\"fixits\"", "\"action\"",
+        "\"detail\"", "\"out_of_bounds\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Lint, TextRenderingNamesEverySite) {
+  const transpose::MatrixPair layout{16};
+  const auto kernel =
+      transpose::describe_kernel(transpose::Algorithm::kSrcw, layout);
+  const std::string text = lint_report_text(lint_kernel(kernel, Scheme::kRaw));
+  EXPECT_NE(text.find("read A"), std::string::npos);
+  EXPECT_NE(text.find("write B"), std::string::npos);
+  EXPECT_NE(text.find("fix-it"), std::string::npos);
+  EXPECT_NE(text.find("[warning]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapsim::analyze

@@ -1,0 +1,35 @@
+// Built-in kernel catalog for rapsim-lint.
+//
+// Collects the loop-nest IR descriptions the libraries export — the
+// Fig. 5 transpose variants, the tiled transpose, matmul, reduction,
+// bitonic, histogram — plus the Table IV 4-D tensor access layouts
+// (expressed directly here: they are access patterns, not kernels, so no
+// library owns a describe_ function for them). The catalog is the lint
+// driver's default target set and the population of the differential
+// test (tests/differential_kernel_test.cpp).
+//
+// This lives in tools/ (not src/analyze/) so the analyze library never
+// links the workload libraries — the dependency points the other way.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/kernelir.hpp"
+
+namespace rapsim::tools {
+
+/// Every built-in kernel description at warp width `w` (a power of two).
+/// Problem sizes scale with w: reduction/bitonic use n = 8w, the
+/// histogram uses 2w bins.
+[[nodiscard]] std::vector<analyze::KernelDesc> builtin_kernels(
+    std::uint32_t width);
+
+/// The catalog entry named `name`, or throws std::invalid_argument
+/// listing the valid names.
+[[nodiscard]] analyze::KernelDesc builtin_kernel(const std::string& name,
+                                                 std::uint32_t width);
+
+}  // namespace rapsim::tools

@@ -10,27 +10,26 @@
 
 set -euo pipefail
 
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
 BIN="${1:-build/examples/prove_pattern}"
 if [ ! -x "$BIN" ]; then
   echo "check_certificates: prove_pattern binary not found: $BIN" >&2
   exit 1
 fi
 
-if ! command -v python3 >/dev/null 2>&1; then
-  echo "check_certificates: python3 is required to validate the JSON" \
-       "schema and was not found on PATH" >&2
-  exit 1
-fi
+json_schema_require_python3 check_certificates
 
-DOC="$(mktemp)"
-trap 'rm -f "$DOC"' EXIT
+DOC="$(json_schema_tmpfile)"
 {
   "$BIN" --pattern=column --width=16 --format=json
   "$BIN" --pattern=flat --stride=6 --width=16 --format=json
   "$BIN" --addrs=0,3,1,4,1,5 --width=16 --format=json
 } > "$DOC"
 
-python3 - "$DOC" <<'EOF'
+json_schema_validate "$DOC" <<'EOF'
 import json
 import sys
 

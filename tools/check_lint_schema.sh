@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Validate rapsim-lint's JSON diagnostic schema.
+#
+#   tools/check_lint_schema.sh [path/to/rapsim-lint]
+#
+# Lints the whole built-in kernel catalog under the RAW layout and checks
+# the emitted document parses and carries every key downstream consumers
+# (run_all.sh analysis drops, editor integrations) rely on — including at
+# least one warning diagnostic with fix-its (the naive stride transpose
+# must be flagged). Registered as the ctest entry `lint_schema` with
+# SKIP_RETURN_CODE 77: a host without python3 skips rather than fails.
+
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
+BIN="${1:-build/tools/rapsim-lint}"
+if [ ! -x "$BIN" ]; then
+  echo "check_lint_schema: rapsim-lint binary not found: $BIN" >&2
+  exit 1
+fi
+
+json_schema_require_python3 check_lint_schema 77
+
+DOC="$(json_schema_tmpfile)"
+"$BIN" --width=16 --scheme=raw --format=json --fail-on=never > "$DOC"
+
+json_schema_validate "$DOC" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"lint schema violation: {what}")
+
+require(doc.get("tool") == "rapsim-lint", "tool == rapsim-lint")
+require(doc.get("version") == 1, "version == 1")
+require(isinstance(doc.get("width"), int), "width is an int")
+require(doc.get("scheme") == "RAW", "scheme name is RAW")
+
+reports = doc.get("reports")
+require(isinstance(reports, list) and reports, "reports is a non-empty list")
+
+warnings_with_fixits = 0
+for report in reports:
+    for key in ("kernel", "width", "rows", "scheme", "severity", "clean",
+                "worst", "worst_site", "diagnostics"):
+        require(key in report, f"report has '{key}'")
+    require(report["severity"] in ("info", "warning", "error"),
+            "report severity is info/warning/error")
+    require(isinstance(report["diagnostics"], list) and report["diagnostics"],
+            "diagnostics is a non-empty list")
+    for diag in report["diagnostics"]:
+        for key in ("severity", "site", "dir", "message", "certificate",
+                    "rule", "coverage", "bindings", "classes",
+                    "out_of_bounds", "witness", "witness_trace", "fixits"):
+            require(key in diag, f"diagnostic has '{key}'")
+        cert = diag["certificate"]
+        for key in ("scheme", "kind", "bound", "rule", "claim"):
+            require(key in cert, f"certificate has '{key}'")
+        require(isinstance(diag["witness"], dict), "witness is an object")
+        require(isinstance(diag["witness_trace"], list),
+                "witness_trace is a list")
+        for fixit in diag["fixits"]:
+            require("action" in fixit and "detail" in fixit,
+                    "fixit has action and detail")
+        if diag["severity"] == "warning" and diag["fixits"]:
+            warnings_with_fixits += 1
+
+require(warnings_with_fixits >= 1,
+        "at least one warning carries fix-its (the stride transpose)")
+
+kernels = {r["kernel"] for r in reports}
+require("transpose-CRSW" in kernels, "built-in catalog includes the CRSW "
+        "transpose")
+print(f"lint schema OK: {len(reports)} kernel reports, "
+      f"{warnings_with_fixits} warnings with fix-its")
+EOF

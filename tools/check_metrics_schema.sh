@@ -10,28 +10,22 @@
 
 set -euo pipefail
 
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
 BIN="${1:-build/bench/table2_congestion_sim}"
 if [ ! -x "$BIN" ]; then
   echo "check_metrics_schema: bench binary not found: $BIN" >&2
   exit 1
 fi
 
-OUT="$("$BIN" --format=json --trials=200 --widths=16,32)"
+json_schema_require_python3 check_metrics_schema
 
-# A real JSON parse is the point of this check: a grep fallback would pass
-# documents that no consumer can load. Fail loudly instead of degrading.
-if ! command -v python3 >/dev/null 2>&1; then
-  echo "check_metrics_schema: python3 is required to validate the JSON" \
-       "schema and was not found on PATH" >&2
-  exit 1
-fi
+DOC="$(json_schema_tmpfile)"
+"$BIN" --format=json --trials=200 --widths=16,32 > "$DOC"
 
-# The heredoc is python's stdin (the program), so the document goes
-# through a temp file rather than a pipe.
-DOC="$(mktemp)"
-trap 'rm -f "$DOC"' EXIT
-printf '%s' "$OUT" > "$DOC"
-python3 - "$DOC" <<'EOF'
+json_schema_validate "$DOC" <<'EOF'
 import json
 import sys
 

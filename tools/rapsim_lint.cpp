@@ -1,0 +1,131 @@
+// rapsim-lint — static bank-congestion lint driver.
+//
+// Lints kernels described in the loop-nest IR: the built-in catalog
+// (builtin_kernels.hpp) and user kernels in the text format
+// (analyze/kernelir.hpp; see DESIGN.md "rapsim-lint"). For every access
+// site the symbolic passes certify the WORST loop binding and the driver
+// reports diagnostics with fix-it suggestions.
+//
+//   rapsim-lint                          # lint every built-in at w=32, RAW
+//   rapsim-lint --list                   # catalog names
+//   rapsim-lint --kernel=transpose-CRSW --scheme=rap
+//   rapsim-lint --file=examples/naive_transpose.kernel --format=json
+//   rapsim-lint --width=64 --fail-on=warning
+//
+// Exit status: 0 when no diagnostic reaches --fail-on (error|warning|
+// never; default error), 1 otherwise, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/kernelir.hpp"
+#include "analyze/lint.hpp"
+#include "builtin_kernels.hpp"
+#include "telemetry/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace rapsim;
+
+core::Scheme parse_scheme(const std::string& name) {
+  if (name == "raw") return core::Scheme::kRaw;
+  if (name == "pad") return core::Scheme::kPad;
+  if (name == "ras") return core::Scheme::kRas;
+  if (name == "rap") return core::Scheme::kRap;
+  throw std::invalid_argument("unknown scheme '" + name +
+                              "' (expected raw, pad, ras or rap)");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  try {
+    const auto width =
+        static_cast<std::uint32_t>(args.get_uint("width", 32));
+    const core::Scheme scheme =
+        parse_scheme(args.get_string("scheme", "raw"));
+    const std::string fail_on = args.get_string("fail-on", "error");
+    if (fail_on != "error" && fail_on != "warning" && fail_on != "never") {
+      throw std::invalid_argument(
+          "--fail-on must be error, warning or never");
+    }
+
+    if (args.get_bool("list", false)) {
+      for (const auto& kernel : tools::builtin_kernels(width)) {
+        std::cout << kernel.name << "\n";
+      }
+      return 0;
+    }
+
+    std::vector<analyze::KernelDesc> kernels;
+    if (const auto file = args.get("file")) {
+      kernels.push_back(analyze::parse_kernel_text(read_file(*file), width));
+    } else if (const auto name = args.get("kernel")) {
+      kernels.push_back(tools::builtin_kernel(*name, width));
+    } else {
+      kernels = tools::builtin_kernels(width);
+    }
+
+    std::vector<analyze::LintReport> reports;
+    reports.reserve(kernels.size());
+    for (const auto& kernel : kernels) {
+      reports.push_back(analyze::lint_kernel(kernel, scheme));
+    }
+
+    std::ostringstream out;
+    if (args.wants_json()) {
+      telemetry::JsonWriter json;
+      json.begin_object();
+      json.kv("tool", "rapsim-lint");
+      json.kv("version", 1);
+      json.kv("width", static_cast<std::uint64_t>(width));
+      json.kv("scheme", core::scheme_name(scheme));
+      json.key("reports");
+      json.begin_array();
+      for (const auto& report : reports) {
+        json.raw_value(analyze::lint_report_json(report));
+      }
+      json.end_array();
+      json.end_object();
+      out << json.str() << "\n";
+    } else {
+      for (const auto& report : reports) {
+        out << analyze::lint_report_text(report);
+      }
+    }
+
+    if (const auto path = args.get("out")) {
+      std::ofstream file(*path);
+      if (!file) throw std::invalid_argument("cannot write '" + *path + "'");
+      file << out.str();
+    } else {
+      std::cout << out.str();
+    }
+
+    analyze::Severity worst = analyze::Severity::kInfo;
+    for (const auto& report : reports) {
+      if (static_cast<int>(report.severity()) > static_cast<int>(worst)) {
+        worst = report.severity();
+      }
+    }
+    if (fail_on == "error" && worst == analyze::Severity::kError) return 1;
+    if (fail_on == "warning" && worst != analyze::Severity::kInfo) return 1;
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "rapsim-lint: " << error.what() << "\n";
+    return 2;
+  }
+}

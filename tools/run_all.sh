@@ -55,5 +55,15 @@ for workload in transpose-crsw transpose-srcw transpose-drdw; do
 done
 tools/check_metrics_schema.sh "$BUILD_DIR"/bench/table2_congestion_sim
 
+echo "=== static lint reports -> results/analysis/ ==="
+mkdir -p results/analysis
+LINT="$BUILD_DIR/tools/rapsim-lint"
+"$LINT" --list | while read -r kernel; do
+  "$LINT" --kernel="$kernel" --format=json --fail-on=never \
+    --out="results/analysis/lint_${kernel}.json"
+done
+tools/check_lint_schema.sh "$LINT"
+
 echo "done: $(ls results | wc -l) experiment reports in results/," \
-     "$(ls results/metrics | wc -l) metric files in results/metrics/"
+     "$(ls results/metrics | wc -l) metric files in results/metrics/," \
+     "$(ls results/analysis | wc -l) lint reports in results/analysis/"
