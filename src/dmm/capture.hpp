@@ -1,0 +1,53 @@
+// Access-capture hook for the DMM/UMM machine.
+//
+// A capture sink observes the LOGICAL address stream of a run — the
+// pre-AddressMap addresses, which is what makes a captured stream
+// replayable under a different scheme. The machine reports one event per
+// dispatched warp-instruction (op class, active-lane mask, per-lane
+// logical addresses in lane order) and one event per barrier instruction
+// at the moment its release group fires. Events arrive in dispatch
+// order, which is deterministic, so equal runs produce equal captures.
+//
+// The interface lives here (not in src/replay/) so the dependency points
+// outward: the machine knows only this vtable, and replay::AccessTrace
+// adapts it (replay/replay.hpp's TraceCaptureSink). Like the telemetry
+// sink, a null capture costs one predictable branch per dispatch.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rapsim::dmm {
+
+/// Op class of a captured warp-instruction. Congestion depends only on
+/// this class and the addresses, so the finer OpKind distinctions (kLoad
+/// vs kLoadAdd, kStore vs kStoreImm) are deliberately collapsed.
+enum class CapturedOpClass : std::uint8_t {
+  kRead,      // kLoad / kLoadAdd / kLoadMulAdd
+  kWrite,     // kStore / kStoreImm
+  kAtomic,    // kAtomicAdd
+  kRegister,  // register-only (kMinMax): no memory traffic
+};
+
+/// Receiver of one run's access stream; install with Dmm::set_capture.
+class AccessCapture {
+ public:
+  virtual ~AccessCapture() = default;
+
+  /// Called once at the start of every run() while installed.
+  virtual void begin_kernel(std::uint32_t num_threads, std::uint32_t width,
+                            std::uint64_t memory_size) = 0;
+
+  /// One dispatched warp-instruction. `lane_mask` bit t corresponds to
+  /// lane t (thread warp*width + t); `addrs` holds the active lanes'
+  /// logical addresses in ascending lane order (empty for kRegister).
+  virtual void on_warp_access(std::uint32_t instr, std::uint32_t warp,
+                              CapturedOpClass op, std::uint64_t lane_mask,
+                              std::span<const std::uint64_t> addrs) = 0;
+
+  /// One barrier instruction, reported when its release group fires.
+  virtual void on_barrier(std::uint32_t instr) = 0;
+};
+
+}  // namespace rapsim::dmm

@@ -109,6 +109,25 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
   }
   if (result.active_threads == 0) return result;
 
+  if (capture_) {
+    // Report the logical (pre-mapping) stream: active-lane mask plus the
+    // memory ops' addresses in ascending lane order.
+    std::uint64_t lane_mask = 0;
+    std::vector<std::uint64_t> logical;
+    if (!saw_register) logical.reserve(result.active_threads);
+    for (std::uint32_t t = warp_begin; t < warp_end; ++t) {
+      const ThreadOp& op = instr[t];
+      if (op.kind == OpKind::kNone) continue;
+      lane_mask |= std::uint64_t{1} << (t - warp_begin);
+      if (!saw_register) logical.push_back(op.logical);
+    }
+    const CapturedOpClass cls = saw_atomic    ? CapturedOpClass::kAtomic
+                                : saw_write   ? CapturedOpClass::kWrite
+                                : saw_read    ? CapturedOpClass::kRead
+                                              : CapturedOpClass::kRegister;
+    capture_->on_warp_access(instr_idx, warp_id, cls, lane_mask, logical);
+  }
+
   if (saw_atomic) {
     // Atomics: every request needs its own bank cycle — same-address
     // requests serialize instead of merging. The adds themselves commute,
@@ -286,6 +305,15 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
       static_cast<std::size_t>(kernel.num_threads) * kRegistersPerThread, 0);
   if (trace) trace->clear();
   if (telemetry_) telemetry_->reset(config_.width);
+  if (capture_) {
+    if (config_.width > 64) {
+      // The capture lane mask is one 64-bit word; wider machines have no
+      // real-hardware counterpart and no portable trace encoding.
+      throw std::invalid_argument(
+          "Dmm: access capture supports width <= 64 only");
+    }
+    capture_->begin_kernel(kernel.num_threads, config_.width, memory_.size());
+  }
 
   const std::uint32_t w = config_.width;
   const std::uint32_t num_warps = (kernel.num_threads + w - 1) / w;
@@ -367,6 +395,12 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
       std::uint64_t release = 0;
       for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
         release = std::max(release, ready[warp]);
+      }
+      if (capture_) {
+        // Exactly one release group fires per barrier instruction (no
+        // warp can pass a barrier other warps still approach), so this
+        // reports each barrier once.
+        capture_->on_barrier(static_cast<std::uint32_t>(barrier_instr));
       }
       for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
         if (next_instr[warp] == barrier_instr) {

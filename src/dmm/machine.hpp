@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/mapping.hpp"
+#include "dmm/capture.hpp"
 #include "dmm/config.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/trace.hpp"
@@ -95,6 +96,15 @@ class Dmm {
     return telemetry_;
   }
 
+  /// Install (or clear, with nullptr) an access-capture sink. While
+  /// installed, every run() first reports the kernel's shape
+  /// (begin_kernel) and then the logical address stream of each
+  /// dispatched warp-instruction plus every barrier release — enough to
+  /// reconstruct an exactly re-runnable kernel (see replay/replay.hpp).
+  /// Like telemetry, a null capture costs one branch per dispatch.
+  void set_capture(AccessCapture* capture) noexcept { capture_ = capture; }
+  [[nodiscard]] AccessCapture* capture() const noexcept { return capture_; }
+
   /// Install (or clear, with nullptr) the shared-memory sanitizer. On
   /// install the sanitizer's shadow write-bitmap is reset to all-unwritten
   /// and sized for this memory, so install BEFORE storing kernel inputs.
@@ -119,6 +129,7 @@ class Dmm {
   std::vector<std::uint64_t> registers_;  // one accumulator per thread
   telemetry::RunTelemetry* telemetry_ = nullptr;  // optional, not owned
   analyze::ShmemSanitizer* sanitizer_ = nullptr;  // optional, not owned
+  AccessCapture* capture_ = nullptr;              // optional, not owned
 
   /// Execute the data movement of one warp-instruction and return its
   /// congestion (pipeline slots) and unique-request count. `instr_idx` is

@@ -1,8 +1,34 @@
 #include "dmm/trace.hpp"
 
+#include <array>
 #include <sstream>
+#include <stdexcept>
 
 namespace rapsim::dmm {
+
+namespace {
+
+constexpr const char* kCsvHeader =
+    "warp,instruction,start,stages,completion,active_threads,"
+    "unique_requests";
+
+[[noreturn]] void fail_csv(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("trace csv: line " + std::to_string(line) +
+                              ": " + what);
+}
+
+std::uint64_t parse_field(const std::string& field, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(field, &used, 10);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return value;
+  } catch (const std::exception&) {
+    fail_csv(line, "malformed number '" + field + "'");
+  }
+}
+
+}  // namespace
 
 std::string Trace::to_csv() const {
   std::ostringstream out;
@@ -14,6 +40,49 @@ std::string Trace::to_csv() const {
         << d.unique_requests << '\n';
   }
   return out.str();
+}
+
+Trace Trace::from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) fail_csv(1, "empty input");
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kCsvHeader) {
+    fail_csv(line_no, std::string("expected header '") + kCsvHeader + "'");
+  }
+
+  Trace trace;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    std::array<std::uint64_t, 7> fields{};
+    std::size_t field = 0, begin = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i < line.size() && line[i] != ',') continue;
+      if (field == fields.size()) fail_csv(line_no, "too many fields");
+      fields[field++] = parse_field(line.substr(begin, i - begin), line_no);
+      begin = i + 1;
+    }
+    if (field != fields.size()) {
+      fail_csv(line_no, "expected " + std::to_string(fields.size()) +
+                            " fields, got " + std::to_string(field));
+    }
+    DispatchRecord record;
+    record.warp = static_cast<std::uint32_t>(fields[0]);
+    record.instruction = static_cast<std::uint32_t>(fields[1]);
+    record.start = fields[2];
+    record.stages = static_cast<std::uint32_t>(fields[3]);
+    record.completion = fields[4];
+    record.active_threads = static_cast<std::uint32_t>(fields[5]);
+    record.unique_requests = static_cast<std::uint32_t>(fields[6]);
+    trace.dispatches.push_back(record);
+  }
+  return trace;
 }
 
 std::string Trace::to_string() const {

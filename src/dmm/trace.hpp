@@ -36,6 +36,12 @@ struct Trace {
   /// completion, active_threads, unique_requests) — for offline analysis
   /// of a kernel's bank-conflict timeline.
   [[nodiscard]] std::string to_csv() const;
+
+  /// Parse a to_csv() document back into a trace (lossless round-trip).
+  /// Requires the exact header row; throws std::invalid_argument with a
+  /// line number for a missing/wrong header, a row with the wrong number
+  /// of fields, or a non-numeric field.
+  [[nodiscard]] static Trace from_csv(const std::string& csv);
 };
 
 }  // namespace rapsim::dmm

@@ -24,6 +24,7 @@
 #include "core/mappingnd.hpp"
 #include "core/permutation.hpp"
 #include "core/theory.hpp"
+#include "dmm/capture.hpp"
 #include "dmm/config.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/machine.hpp"
@@ -35,6 +36,9 @@
 #include "hmm/hmm.hpp"
 #include "hmm/tiled_transpose.hpp"
 #include "permute/offline.hpp"
+#include "replay/campaign.hpp"
+#include "replay/replay.hpp"
+#include "replay/trace.hpp"
 #include "transpose/algorithms.hpp"
 #include "transpose/runner.hpp"
 #include "util/cli.hpp"

@@ -1,0 +1,164 @@
+#include "replay/replay.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rapsim::replay {
+
+namespace {
+
+RecordKind to_record_kind(dmm::CapturedOpClass op) {
+  switch (op) {
+    case dmm::CapturedOpClass::kRead: return RecordKind::kRead;
+    case dmm::CapturedOpClass::kWrite: return RecordKind::kWrite;
+    case dmm::CapturedOpClass::kAtomic: return RecordKind::kAtomic;
+    case dmm::CapturedOpClass::kRegister: return RecordKind::kRegister;
+  }
+  throw std::logic_error("replay: unknown captured op class");
+}
+
+}  // namespace
+
+void TraceCaptureSink::begin_kernel(std::uint32_t num_threads,
+                                    std::uint32_t width,
+                                    std::uint64_t memory_size) {
+  trace_ = AccessTrace{};
+  trace_.header.width = width;
+  trace_.header.num_threads = num_threads;
+  trace_.header.memory_size = memory_size;
+}
+
+void TraceCaptureSink::on_warp_access(std::uint32_t instr, std::uint32_t warp,
+                                      dmm::CapturedOpClass op,
+                                      std::uint64_t lane_mask,
+                                      std::span<const std::uint64_t> addrs) {
+  TraceRecord record;
+  record.kind = to_record_kind(op);
+  record.instr = instr;
+  record.warp = warp;
+  record.lane_mask = lane_mask;
+  if (record.kind != RecordKind::kRegister) {
+    record.addrs.assign(addrs.begin(), addrs.end());
+  }
+  trace_.records.push_back(std::move(record));
+}
+
+void TraceCaptureSink::on_barrier(std::uint32_t instr) {
+  TraceRecord record;
+  record.kind = RecordKind::kBarrier;
+  record.instr = instr;
+  trace_.records.push_back(std::move(record));
+}
+
+AccessTrace TraceCaptureSink::take() {
+  AccessTrace out = std::move(trace_);
+  trace_ = AccessTrace{};
+  return out;
+}
+
+AccessTrace capture_run(dmm::Dmm& machine, const dmm::Kernel& kernel,
+                        dmm::RunStats* stats) {
+  TraceCaptureSink sink;
+  dmm::AccessCapture* previous = machine.capture();
+  machine.set_capture(&sink);
+  try {
+    const dmm::RunStats run_stats = machine.run(kernel);
+    if (stats) *stats = run_stats;
+  } catch (...) {
+    machine.set_capture(previous);
+    throw;
+  }
+  machine.set_capture(previous);
+  return sink.take();
+}
+
+dmm::Kernel lower_to_kernel(const AccessTrace& trace) {
+  trace.validate();
+
+  std::uint32_t num_instr = 0;
+  for (const TraceRecord& record : trace.records) {
+    num_instr = std::max(num_instr, record.instr + 1);
+  }
+
+  dmm::Kernel kernel;
+  kernel.num_threads = trace.header.num_threads;
+  kernel.instructions.assign(
+      num_instr, dmm::Instruction(kernel.num_threads, dmm::ThreadOp::none()));
+
+  const std::uint32_t w = trace.header.width;
+  for (const TraceRecord& record : trace.records) {
+    dmm::Instruction& instr = kernel.instructions[record.instr];
+    if (record.kind == RecordKind::kBarrier) {
+      for (auto& op : instr) op = dmm::ThreadOp::barrier();
+      continue;
+    }
+    std::size_t next_addr = 0;
+    for (std::uint32_t lane = 0; lane < w; ++lane) {
+      if ((record.lane_mask >> lane & 1) == 0) continue;
+      const std::uint32_t thread = record.warp * w + lane;
+      switch (record.kind) {
+        case RecordKind::kRead:
+          instr[thread] = dmm::ThreadOp::load(record.addrs[next_addr++]);
+          break;
+        case RecordKind::kWrite:
+          // Congestion is value-independent; stores replay as immediate
+          // zeros so replay needs no register state reconstruction.
+          instr[thread] =
+              dmm::ThreadOp::store_imm(record.addrs[next_addr++], 0);
+          break;
+        case RecordKind::kAtomic:
+          instr[thread] = dmm::ThreadOp::atomic_add(record.addrs[next_addr++]);
+          break;
+        case RecordKind::kRegister:
+          instr[thread] = dmm::ThreadOp::min_max(0, 1);
+          break;
+        case RecordKind::kBarrier:
+          break;  // unreachable: handled above
+      }
+    }
+  }
+  return kernel;
+}
+
+ReplayResult replay_trace(const AccessTrace& trace,
+                          const core::AddressMap& map,
+                          const ReplayOptions& options) {
+  if (map.width() != trace.header.width) {
+    throw std::invalid_argument(
+        "replay_trace: map width " + std::to_string(map.width()) +
+        " does not match trace width " + std::to_string(trace.header.width));
+  }
+  if (map.size() < trace.header.memory_size) {
+    throw std::invalid_argument(
+        "replay_trace: map size " + std::to_string(map.size()) +
+        " smaller than trace memory " +
+        std::to_string(trace.header.memory_size));
+  }
+
+  const dmm::Kernel kernel = lower_to_kernel(trace);
+  dmm::DmmConfig config{trace.header.width, options.latency, options.kind};
+  ReplayResult result;
+  dmm::Dmm machine(config, map);
+  machine.set_telemetry(&result.telemetry);
+  result.stats = machine.run(kernel, &result.dispatches);
+  return result;
+}
+
+analyze::CongestionCertificate certify_trace(const AccessTrace& trace,
+                                             core::Scheme scheme) {
+  trace.validate();
+  std::vector<std::vector<std::uint64_t>> streams;
+  streams.reserve(trace.records.size());
+  for (const TraceRecord& record : trace.records) {
+    if (record.addrs.empty()) continue;  // register / barrier records
+    streams.push_back(record.addrs);
+  }
+  if (streams.empty()) {
+    throw std::invalid_argument(
+        "certify_trace: trace has no memory records");
+  }
+  return analyze::prove_worst_warp(streams, trace.header.width,
+                                   trace.header.memory_size, scheme);
+}
+
+}  // namespace rapsim::replay

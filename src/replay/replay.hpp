@@ -1,0 +1,94 @@
+// Trace-driven DMM replay (trace replay, pillar 2).
+//
+// The bridge between portable access traces (replay/trace.hpp) and the
+// executable machine: TraceCaptureSink records any Dmm run into an
+// AccessTrace, lower_to_kernel() lowers a trace back into a straight-line
+// dmm::Kernel, and replay_trace() executes that kernel under an arbitrary
+// AddressMap, yielding the usual RunStats + telemetry + dispatch trace.
+//
+// Replay is exact: the lowered kernel preserves instruction indices,
+// active-lane masks, op classes and logical addresses, which are the only
+// inputs the scheduler and the congestion accounting consume — so
+// capturing a workload and replaying it under the same (scheme, width,
+// seed) reproduces the native run's RunStats bit for bit
+// (tests/replay_differential_test.cpp pins this over every built-in
+// workload x scheme x width). Data values are NOT replayed (reads become
+// kLoad, writes kStoreImm 0, atomics kAtomicAdd): a trace is an address
+// stream, and congestion is a function of addresses alone.
+//
+// certify_trace() closes the loop with the static analyzer: each
+// read/write/atomic record is one warp's concrete address stream, so the
+// per-warp prover (analyze::prove_worst_warp) can attach a congestion
+// certificate — exact for affine-recognizable streams under deterministic
+// schemes, the Theorem 2 envelope otherwise — to any replayed stream.
+
+#pragma once
+
+#include <cstdint>
+
+#include "analyze/certificate.hpp"
+#include "core/mapping.hpp"
+#include "dmm/capture.hpp"
+#include "dmm/machine.hpp"
+#include "replay/trace.hpp"
+#include "telemetry/run_telemetry.hpp"
+
+namespace rapsim::replay {
+
+/// AccessCapture adapter that accumulates a run into an AccessTrace.
+/// Install on a Dmm, run any kernel, then take() the finished trace.
+class TraceCaptureSink final : public dmm::AccessCapture {
+ public:
+  void begin_kernel(std::uint32_t num_threads, std::uint32_t width,
+                    std::uint64_t memory_size) override;
+  void on_warp_access(std::uint32_t instr, std::uint32_t warp,
+                      dmm::CapturedOpClass op, std::uint64_t lane_mask,
+                      std::span<const std::uint64_t> addrs) override;
+  void on_barrier(std::uint32_t instr) override;
+
+  [[nodiscard]] const AccessTrace& trace() const noexcept { return trace_; }
+  /// Move the captured trace out (the sink resets for the next run).
+  [[nodiscard]] AccessTrace take();
+
+ private:
+  AccessTrace trace_;
+};
+
+/// Run `machine`'s kernel while capturing, and return the trace. The
+/// machine's previous capture sink (if any) is restored afterwards.
+[[nodiscard]] AccessTrace capture_run(dmm::Dmm& machine,
+                                      const dmm::Kernel& kernel,
+                                      dmm::RunStats* stats = nullptr);
+
+/// Lower a validated trace into an executable kernel: one instruction
+/// per recorded index (unrecorded indices stay all-idle and cost
+/// nothing), barriers at their markers, reads as kLoad, writes as
+/// kStoreImm, atomics as kAtomicAdd, register records as kMinMax.
+[[nodiscard]] dmm::Kernel lower_to_kernel(const AccessTrace& trace);
+
+struct ReplayOptions {
+  std::uint32_t latency = 1;
+  dmm::MachineKind kind = dmm::MachineKind::kDmm;
+};
+
+struct ReplayResult {
+  dmm::RunStats stats;
+  telemetry::RunTelemetry telemetry;
+  dmm::Trace dispatches;
+};
+
+/// Execute the trace under `map`. Requires map.width() == header.width
+/// and map.size() >= header.memory_size (throws std::invalid_argument
+/// otherwise).
+[[nodiscard]] ReplayResult replay_trace(const AccessTrace& trace,
+                                        const core::AddressMap& map,
+                                        const ReplayOptions& options = {});
+
+/// Worst-warp congestion certificate for the trace's memory records
+/// under `scheme` (see analyze/certificate.hpp for the rule set).
+/// Register-only and barrier records carry no addresses and are skipped.
+/// Throws std::invalid_argument when the trace has no memory records.
+[[nodiscard]] analyze::CongestionCertificate certify_trace(
+    const AccessTrace& trace, core::Scheme scheme);
+
+}  // namespace rapsim::replay

@@ -16,7 +16,7 @@ std::size_t worker_count() {
     if (n > 0) return static_cast<std::size_t>(n);
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  return std::clamp<std::size_t>(hw ? hw : 1, 1, 16);
+  return hw ? hw : 1;
 }
 
 void parallel_for_chunks(

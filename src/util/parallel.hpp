@@ -15,8 +15,10 @@
 
 namespace rapsim::util {
 
-/// Number of workers used by parallel_for_chunks (hardware concurrency,
-/// clamped to [1, 16]; override with RAPSIM_THREADS env var).
+/// Number of workers used by parallel_for_chunks: the RAPSIM_THREADS env
+/// var when set to a positive integer, otherwise the full hardware
+/// concurrency (campaign shards scale to whatever the machine offers; 1
+/// when the runtime cannot report a count).
 [[nodiscard]] std::size_t worker_count();
 
 /// Invoke fn(chunk_index, begin, end) for `chunks` contiguous sub-ranges of

@@ -1,0 +1,139 @@
+// Replay fidelity: capturing any built-in workload and replaying the
+// trace under the same (scheme, width, seed) must reproduce the native
+// run's RunStats exactly — time, slots, dispatches, max and average
+// congestion — for every workload x scheme x width in {16, 32, 64}.
+// The trace also has to survive both encodings unchanged on the way.
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "dmm/machine.hpp"
+#include "replay/replay.hpp"
+#include "replay/trace.hpp"
+#include "workload_kernels.hpp"
+
+namespace {
+
+using namespace rapsim;
+
+constexpr std::uint32_t kLatency = 2;
+constexpr std::uint64_t kSeed = 42;
+
+void expect_same_stats(const dmm::RunStats& native, const dmm::RunStats& got,
+                       const std::string& label) {
+  EXPECT_EQ(native.time, got.time) << label;
+  EXPECT_EQ(native.total_stages, got.total_stages) << label;
+  EXPECT_EQ(native.dispatches, got.dispatches) << label;
+  EXPECT_EQ(native.max_congestion, got.max_congestion) << label;
+  EXPECT_EQ(native.avg_congestion, got.avg_congestion) << label;
+}
+
+TEST(ReplayDifferential, ReplayReproducesNativeStatsExactly) {
+  for (const std::uint32_t width : {16u, 32u, 64u}) {
+    for (const tools::WorkloadKernel& entry : tools::workload_kernels(width)) {
+      for (const core::Scheme scheme :
+           {core::Scheme::kRaw, core::Scheme::kRas, core::Scheme::kRap,
+            core::Scheme::kPad}) {
+        const std::string label = entry.name + " / " +
+                                  core::scheme_name(scheme) + " / w=" +
+                                  std::to_string(width);
+
+        // Native run.
+        const auto native_map =
+            core::make_matrix_map(scheme, width, entry.rows, kSeed);
+        dmm::Dmm native(dmm::DmmConfig{width, kLatency}, *native_map);
+        const dmm::RunStats native_stats = native.run(entry.kernel);
+
+        // Captured run on a fresh identical machine: recording must not
+        // perturb the run it observes.
+        const auto capture_map =
+            core::make_matrix_map(scheme, width, entry.rows, kSeed);
+        dmm::Dmm recorder(dmm::DmmConfig{width, kLatency}, *capture_map);
+        dmm::RunStats captured_stats;
+        const replay::AccessTrace trace =
+            replay::capture_run(recorder, entry.kernel, &captured_stats);
+        expect_same_stats(native_stats, captured_stats, label + " (capture)");
+        ASSERT_NO_THROW(trace.validate()) << label;
+
+        // The trace survives both encodings byte-for-byte.
+        const replay::AccessTrace from_text =
+            replay::parse_trace(replay::to_text(trace));
+        const replay::AccessTrace from_binary =
+            replay::parse_trace(replay::to_binary(trace));
+        ASSERT_EQ(trace, from_text) << label;
+        ASSERT_EQ(trace, from_binary) << label;
+
+        // Replay of the round-tripped trace under the same (scheme,
+        // width, seed) reproduces the native stats exactly.
+        const auto replay_map =
+            core::make_matrix_map(scheme, width, entry.rows, kSeed);
+        replay::ReplayOptions options;
+        options.latency = kLatency;
+        const replay::ReplayResult result =
+            replay::replay_trace(from_text, *replay_map, options);
+        expect_same_stats(native_stats, result.stats, label + " (replay)");
+        EXPECT_EQ(result.dispatches.dispatches.size(),
+                  native_stats.dispatches)
+            << label;
+      }
+    }
+  }
+}
+
+TEST(ReplayDifferential, CaptureRecordsEveryDispatchedInstruction) {
+  // Bitonic's compare-exchange steps are register-only instructions
+  // that occupy dispatch slots; dropping them from the trace would shift
+  // the round-robin schedule. The record count must match the dispatch
+  // count, barriers aside.
+  const std::uint32_t width = 16;
+  const tools::WorkloadKernel entry =
+      tools::workload_kernel("bitonic", width);
+  const auto map =
+      core::make_matrix_map(core::Scheme::kRaw, width, entry.rows, 1);
+  dmm::Dmm machine(dmm::DmmConfig{width, 1}, *map);
+  dmm::RunStats stats;
+  const replay::AccessTrace trace =
+      replay::capture_run(machine, entry.kernel, &stats);
+
+  std::size_t memory_records = 0, register_records = 0;
+  bool saw_barrier = false;
+  for (const replay::TraceRecord& record : trace.records) {
+    if (record.kind == replay::RecordKind::kBarrier) {
+      saw_barrier = true;
+    } else if (record.kind == replay::RecordKind::kRegister) {
+      ++register_records;
+    } else {
+      ++memory_records;
+    }
+  }
+  // Register-only warp-instructions never enter the MMU pipeline, so
+  // RunStats::dispatches counts exactly the memory records.
+  EXPECT_EQ(memory_records, stats.dispatches);
+  EXPECT_GT(register_records, 0u);
+  EXPECT_TRUE(saw_barrier);
+}
+
+TEST(ReplayDifferential, CertifyTraceMatchesObservedWorstCongestion) {
+  // For the deterministic schemes the analyzer's worst-warp certificate
+  // is exact, so it must equal the replayed max congestion.
+  const std::uint32_t width = 32;
+  const tools::WorkloadKernel entry =
+      tools::workload_kernel("transpose-srcw", width);
+  for (const core::Scheme scheme : {core::Scheme::kRaw, core::Scheme::kPad}) {
+    const auto map = core::make_matrix_map(scheme, width, entry.rows, 1);
+    dmm::Dmm machine(dmm::DmmConfig{width, 1}, *map);
+    const replay::AccessTrace trace = replay::capture_run(machine, entry.kernel);
+    const analyze::CongestionCertificate certificate =
+        replay::certify_trace(trace, scheme);
+    ASSERT_TRUE(certificate.exact()) << core::scheme_name(scheme);
+
+    const auto replay_map = core::make_matrix_map(scheme, width, entry.rows, 1);
+    const replay::ReplayResult result =
+        replay::replay_trace(trace, *replay_map);
+    EXPECT_EQ(static_cast<double>(result.stats.max_congestion),
+              certificate.bound)
+        << core::scheme_name(scheme);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Validate the machine-readable artifacts of a replay campaign.
+#
+#   tools/check_replay_schema.sh [path/to/rapsim-replay] [TRACE...]
+#
+# Runs a tiny campaign over the given traces (the shipped example traces
+# by default) into a throwaway results directory, then checks both
+# artifacts — manifest.json and summary.json — parse and carry every key
+# the downstream consumers (run_all.sh metric drops, resume tooling)
+# rely on, and that their cell grids agree. Registered as the ctest
+# entry `replay_schema` with SKIP_RETURN_CODE 77 (skips without
+# python3); also run standalone by tools/run_all.sh.
+
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
+BIN="${1:-build/tools/rapsim-replay}"
+if [ ! -x "$BIN" ]; then
+  echo "check_replay_schema: rapsim-replay binary not found: $BIN" >&2
+  exit 1
+fi
+shift || true
+if [ "$#" -gt 0 ]; then
+  TRACES=("$@")
+else
+  TRACES=("$HERE/../examples/contiguous_stride.trace"
+          "$HERE/../examples/same_bank_adversary.trace")
+fi
+
+json_schema_require_python3 check_replay_schema 77
+
+RESULTS="$(mktemp -d)"
+trap 'rm -rf "$RESULTS"' EXIT
+
+"$BIN" campaign "${TRACES[@]}" --schemes=raw,ras,rap --trials=2 \
+       --results="$RESULTS" >/dev/null
+
+json_schema_validate "$RESULTS/manifest.json" "$RESULTS/summary.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    manifest = json.load(fh)
+with open(sys.argv[2], encoding="utf-8") as fh:
+    summary = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"replay schema violation: {what}")
+
+for name, doc in (("manifest", manifest), ("summary", summary)):
+    require(doc.get("schema_version") == 1, f"{name}.schema_version == 1")
+    require(doc.get("experiment") == "rapsim_replay_campaign",
+            f"{name}.experiment name")
+    config = doc.get("config", {})
+    for key in ("latency", "trials", "seed", "schemes", "traces"):
+        require(key in config, f"{name}.config has '{key}'")
+    require(isinstance(config["traces"], list) and config["traces"],
+            f"{name}.config.traces is a non-empty list")
+    for trace in config["traces"]:
+        for key in ("name", "hash", "width", "threads", "memory_size",
+                    "records"):
+            require(key in trace, f"{name}.config.traces[] has '{key}'")
+
+require(isinstance(manifest.get("cells"), list) and manifest["cells"],
+        "manifest.cells is a non-empty list")
+for cell in manifest["cells"]:
+    for key in ("key", "trace", "scheme", "width", "status"):
+        require(key in cell, f"manifest.cells[] has '{key}'")
+    require(cell["status"] in ("cached", "pending"),
+            "manifest cell status is cached|pending")
+
+require(isinstance(summary.get("cells"), list) and summary["cells"],
+        "summary.cells is a non-empty list")
+keys = []
+for cell in summary["cells"]:
+    for key in ("key", "trace", "trace_hash", "scheme", "width", "latency",
+                "trials", "seed", "time", "pipeline_slots", "dispatches",
+                "congestion", "trial_times"):
+        require(key in cell, f"summary.cells[] has '{key}'")
+    for key in ("mean", "min", "max"):
+        require(key in cell["time"], f"summary time has '{key}'")
+    for key in ("count", "mean", "min", "max", "p50", "p95", "p99"):
+        require(key in cell["congestion"], f"summary congestion has '{key}'")
+    require(len(cell["trial_times"]) == cell["trials"],
+            "one trial_times entry per trial")
+    keys.append(cell["key"])
+
+require(keys == sorted(keys), "summary cells are sorted by key")
+require(keys == [c["key"] for c in manifest["cells"]],
+        "manifest and summary list the same cell grid")
+merged = summary.get("congestion_merged", {})
+for key in ("count", "mean", "min", "max", "p50", "p95", "p99"):
+    require(key in merged, f"congestion_merged has '{key}'")
+require(merged["count"] == sum(c["congestion"]["count"]
+                               for c in summary["cells"]),
+        "merged tally count equals the sum over cells")
+
+print(f"replay schema OK: {len(keys)} cells, "
+      f"{merged['count']} merged congestion samples")
+EOF

@@ -55,6 +55,14 @@ for workload in transpose-crsw transpose-srcw transpose-drdw; do
 done
 tools/check_metrics_schema.sh "$BUILD_DIR"/bench/table2_congestion_sim
 
+echo "=== demo replay campaign -> results/replay/ ==="
+REPLAY="$BUILD_DIR/tools/rapsim-replay"
+"$REPLAY" campaign examples/contiguous_stride.trace \
+          examples/same_bank_adversary.trace \
+          --schemes=raw,ras,rap,pad --trials=8 --results=results/replay
+tools/check_replay_schema.sh "$REPLAY" \
+  examples/contiguous_stride.trace examples/same_bank_adversary.trace
+
 echo "=== static lint reports -> results/analysis/ ==="
 mkdir -p results/analysis
 LINT="$BUILD_DIR/tools/rapsim-lint"

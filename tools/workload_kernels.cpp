@@ -1,0 +1,64 @@
+#include "workload_kernels.hpp"
+
+#include <stdexcept>
+
+#include "transpose/algorithms.hpp"
+#include "workloads/bitonic.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/reduction.hpp"
+
+namespace rapsim::tools {
+
+std::vector<WorkloadKernel> workload_kernels(std::uint32_t width) {
+  const transpose::MatrixPair pair{width};
+  const workloads::MatmulArrays arrays{width};
+  const std::uint64_t n = 8ull * width;  // reduction / bitonic problem size
+
+  std::vector<WorkloadKernel> catalog;
+  catalog.push_back({"transpose-crsw",
+                     transpose::build_kernel(transpose::Algorithm::kCrsw, pair),
+                     pair.rows()});
+  catalog.push_back({"transpose-srcw",
+                     transpose::build_kernel(transpose::Algorithm::kSrcw, pair),
+                     pair.rows()});
+  catalog.push_back({"transpose-drdw",
+                     transpose::build_kernel(transpose::Algorithm::kDrdw, pair),
+                     pair.rows()});
+  catalog.push_back(
+      {"reduction-interleaved",
+       workloads::build_reduction_kernel(
+           workloads::ReductionVariant::kInterleaved, n, width),
+       n / width});
+  catalog.push_back(
+      {"reduction-sequential",
+       workloads::build_reduction_kernel(
+           workloads::ReductionVariant::kSequential, n, width),
+       n / width});
+  catalog.push_back(
+      {"matmul-rowmajorb",
+       workloads::build_matmul_kernel(workloads::MatmulLayout::kRowMajorB,
+                                      arrays),
+       arrays.rows()});
+  catalog.push_back(
+      {"matmul-transposedb",
+       workloads::build_matmul_kernel(workloads::MatmulLayout::kTransposedB,
+                                      arrays),
+       arrays.rows()});
+  catalog.push_back(
+      {"bitonic", workloads::build_bitonic_kernel(n, width), n / width});
+  return catalog;
+}
+
+WorkloadKernel workload_kernel(const std::string& name, std::uint32_t width) {
+  std::vector<WorkloadKernel> catalog = workload_kernels(width);
+  std::string known;
+  for (WorkloadKernel& entry : catalog) {
+    if (entry.name == name) return std::move(entry);
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw std::invalid_argument("unknown workload '" + name + "' (known: " +
+                              known + ")");
+}
+
+}  // namespace rapsim::tools
