@@ -75,15 +75,24 @@ AccessTrace capture_run(dmm::Dmm& machine, const dmm::Kernel& kernel,
 dmm::Kernel lower_to_kernel(const AccessTrace& trace) {
   trace.validate();
 
-  std::uint32_t num_instr = 0;
+  // validate() bounds every instr below kMaxTraceInstructions, but keep
+  // the sizing arithmetic 64-bit so a future relaxation cannot wrap it.
+  std::uint64_t num_instr = 0;
   for (const TraceRecord& record : trace.records) {
-    num_instr = std::max(num_instr, record.instr + 1);
+    num_instr = std::max(num_instr, std::uint64_t{record.instr} + 1);
+  }
+  if (num_instr > kMaxTraceInstructions) {
+    throw std::invalid_argument(
+        "replay: trace needs " + std::to_string(num_instr) +
+        " instructions, above the cap of " +
+        std::to_string(kMaxTraceInstructions));
   }
 
   dmm::Kernel kernel;
   kernel.num_threads = trace.header.num_threads;
   kernel.instructions.assign(
-      num_instr, dmm::Instruction(kernel.num_threads, dmm::ThreadOp::none()));
+      static_cast<std::size_t>(num_instr),
+      dmm::Instruction(kernel.num_threads, dmm::ThreadOp::none()));
 
   const std::uint32_t w = trace.header.width;
   for (const TraceRecord& record : trace.records) {

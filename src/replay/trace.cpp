@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -78,12 +79,20 @@ void TraceHeader::validate() const {
          std::to_string(width));
   }
   if (num_threads == 0) fail("num_threads must be > 0");
+  if (num_threads > kMaxTraceThreads) {
+    fail("num_threads " + std::to_string(num_threads) + " exceeds the cap of " +
+         std::to_string(kMaxTraceThreads));
+  }
   if (memory_size == 0) fail("memory_size must be > 0");
 }
 
 void TraceValidator::check(const TraceRecord& record) {
   const std::string where = "record (instr " + std::to_string(record.instr) +
                             ", warp " + std::to_string(record.warp) + "): ";
+  if (record.instr >= kMaxTraceInstructions) {
+    fail(where + "instruction index exceeds the cap of " +
+         std::to_string(kMaxTraceInstructions));
+  }
   if (record.kind == RecordKind::kBarrier) {
     if (record.warp != 0 || record.lane_mask != 0 || !record.addrs.empty()) {
       fail(where + "barrier records carry no warp/mask/addresses");
@@ -269,6 +278,10 @@ void TraceReader::parse_text_header() {
                                        : saw_size;
       if (seen) fail_line(line_, "duplicate header field '" + word + "'");
       seen = true;
+      if (word != "size" && value > std::numeric_limits<std::uint32_t>::max()) {
+        fail_line(line_, "'" + word + "' value " + std::to_string(value) +
+                             " out of range");
+      }
       if (word == "width") {
         header_.width = static_cast<std::uint32_t>(value);
       } else if (word == "threads") {

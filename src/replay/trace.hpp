@@ -23,7 +23,9 @@
 // the first byte and validates every record on the fly — lane masks
 // inside the warp width, address counts matching the mask popcount,
 // addresses inside the declared memory, no duplicate (instruction, warp)
-// pairs, and no instruction that is both a barrier and an access.
+// pairs, no instruction that is both a barrier and an access, and
+// instruction indices / thread counts inside the replay resource caps
+// (kMaxTraceInstructions, kMaxTraceThreads).
 //
 // content_hash() hashes the canonical binary encoding (FNV-1a 64) and is
 // the identity the campaign engine (campaign.hpp) keys its result cache
@@ -69,6 +71,13 @@ struct TraceRecord {
 
 inline constexpr std::uint32_t kTraceVersion = 1;
 inline constexpr std::uint32_t kMaxTraceWidth = 64;  // lane mask is 64-bit
+// Resource bounds: replay materializes a dense num_instr × num_threads
+// dmm::Kernel, so both dimensions are capped. A tiny crafted file must
+// not be able to demand a multi-GB allocation (or overflow the
+// instruction-count arithmetic) before anything notices; the validator
+// rejects records past these limits with the usual line/offset errors.
+inline constexpr std::uint32_t kMaxTraceInstructions = 1u << 20;
+inline constexpr std::uint32_t kMaxTraceThreads = 1u << 20;
 
 struct TraceHeader {
   std::uint32_t version = kTraceVersion;

@@ -210,6 +210,38 @@ TEST(ReplayTraceErrors, RejectsMaskBeyondPartialWarp) {
       "lane mask has bits beyond");
 }
 
+TEST(ReplayTraceErrors, RejectsOverflowingHeaderValues) {
+  // 4294967312 truncates to 16 as a uint32 — must be an error, not an
+  // accepted header with the wrong width/threads.
+  expect_rejected(
+      "rapsim-trace v1\nwidth 4294967312\nthreads 16\nsize 256\n"
+      "barrier 0\nend\n",
+      "out of range");
+  expect_rejected(
+      "rapsim-trace v1\nwidth 16\nthreads 4294967312\nsize 256\n"
+      "barrier 0\nend\n",
+      "out of range");
+}
+
+TEST(ReplayTraceErrors, RejectsThreadCountAboveCap) {
+  expect_rejected("rapsim-trace v1\nwidth 16\nthreads 2097152\nsize 256\n"
+                  "barrier 0\nend\n",
+                  "cap");
+}
+
+TEST(ReplayTraceErrors, RejectsInstructionIndexAboveCap) {
+  // Unbounded instr would let a tiny trace demand a huge (or, at
+  // instr = 2^32 - 1, wrapped-to-zero) kernel allocation in replay.
+  expect_rejected(
+      "rapsim-trace v1\nwidth 16\nthreads 16\nsize 256\n"
+      "read 1048576 0 1 0\nend\n",
+      "cap");
+  expect_rejected(
+      "rapsim-trace v1\nwidth 16\nthreads 16\nsize 256\n"
+      "barrier 4294967295\nend\n",
+      "cap");
+}
+
 TEST(ReplayTraceErrors, RejectsUnknownRecordKind) {
   expect_rejected(
       "rapsim-trace v1\nwidth 16\nthreads 16\nsize 256\n"
@@ -256,6 +288,30 @@ TEST(ReplayTraceErrors, RejectsWrongBinaryVersion) {
 TEST(ReplayTraceErrors, RejectsTrailingBinaryGarbage) {
   const std::string bytes = replay::to_binary(random_trace(16, 6));
   expect_rejected(bytes + "x", "after");
+}
+
+TEST(ReplayTraceErrors, RejectsBinaryInstructionIndexAboveCap) {
+  // Hand-crafted stream with instr = 2^32 - 1: before the instruction
+  // cap this passed validation and wrapped lower_to_kernel's size
+  // computation to zero, writing out of bounds.
+  std::string bytes = "RAPT";
+  const auto u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>(v >> 8 * i));
+  };
+  const auto u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>(v >> 8 * i));
+  };
+  u32(replay::kTraceVersion);
+  u32(16);   // width
+  u32(16);   // threads
+  u64(256);  // size
+  bytes.push_back(1);  // read record
+  u32(0xFFFFFFFFu);    // instr
+  u32(0);              // warp
+  u64(1);              // lane mask
+  u64(0);              // address
+  bytes.push_back(static_cast<char>(0xFF));
+  expect_rejected(bytes, "cap");
 }
 
 // ---- dispatch-trace CSV round-trip (dmm::Trace::from_csv) ----
