@@ -13,6 +13,7 @@
 #include "replay/replay.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/run_telemetry.hpp"
+#include "util/hash.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -25,20 +26,8 @@ namespace {
 constexpr const char* kCellMagic = "rapsim-cell";
 constexpr std::uint32_t kCellVersion = 1;
 
-std::uint64_t fnv1a(std::string_view bytes,
-                    std::uint64_t hash = 0xcbf29ce484222325ull) {
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
+using util::fnv1a;
+using util::hex64;
 
 [[noreturn]] void fail_cell(std::size_t line, const std::string& what) {
   throw std::invalid_argument("cell: line " + std::to_string(line) + ": " +

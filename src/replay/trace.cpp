@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace rapsim::replay {
 
 namespace {
@@ -540,13 +542,7 @@ void save_trace(const AccessTrace& trace, const std::string& path,
 }
 
 std::uint64_t content_hash(const AccessTrace& trace) {
-  const std::string bytes = to_binary(trace);
-  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
+  return util::fnv1a(to_binary(trace));
 }
 
 }  // namespace rapsim::replay

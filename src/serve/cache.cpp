@@ -1,0 +1,72 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace rapsim::serve {
+
+ResponseCache::ResponseCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      per_shard_(0),
+      shards_(std::max<std::size_t>(shards, 1)) {
+  if (capacity_ > 0) {
+    per_shard_ = std::max<std::size_t>(capacity_ / shards_.size(), 1);
+  }
+}
+
+std::optional<std::string> ResponseCache::lookup(const std::string& identity) {
+  if (capacity_ == 0) return std::nullopt;
+  const std::uint64_t key = util::fnv1a(identity);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end() || it->second->identity != identity) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->body;
+}
+
+void ResponseCache::insert(const std::string& identity,
+                           const std::string& body) {
+  if (capacity_ == 0) return;
+  const std::uint64_t key = util::fnv1a(identity);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh (or replace a hash-colliding occupant — rare, and safe
+    // either way because lookups compare the stored identity).
+    it->second->identity = identity;
+    it->second->body = body;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= per_shard_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(util::fnv1a(victim.identity));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{identity, body});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+}
+
+CacheStats ResponseCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace rapsim::serve

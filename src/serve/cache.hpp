@@ -1,0 +1,89 @@
+// Sharded LRU response cache (serve subsystem).
+//
+// Every worker-pool method is a pure function of its canonical identity
+// string (DESIGN.md §11): `certify` of the same kernel text IS the same
+// answer, so the serialized result body can be replayed byte-for-byte.
+// Keys are util::fnv1a over that identity — the same content-hash family
+// the campaign engine keys its cells on (util/hash.hpp), so the two
+// caches can never disagree about what "the same request" means.
+//
+// Sharding keeps the hot path short: a lookup takes one shard mutex, not
+// a global one, so concurrent workers on different shards never contend.
+// Each shard is an intrusive LRU (doubly-linked list through the hash
+// map's nodes); capacity is counted in entries and split evenly across
+// shards, with eviction strictly least-recently-used per shard.
+//
+// Collisions: FNV-1a is not collision-free, so entries store the full
+// identity string and a probe compares it before serving a hit — a
+// colliding identity is a miss, never a wrong answer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rapsim::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+class ResponseCache {
+ public:
+  /// `capacity` total entries spread over `shards` shards (each shard
+  /// gets at least one slot). capacity == 0 disables the cache entirely
+  /// (every lookup is a miss, inserts are dropped).
+  explicit ResponseCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// The cached result body for `identity`, or nullopt. A hit refreshes
+  /// the entry's recency.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& identity);
+
+  /// Insert (or refresh) the result body for `identity`, evicting the
+  /// shard's least-recently-used entry when full.
+  void insert(const std::string& identity, const std::string& body);
+
+  /// Aggregate statistics over all shards (taken under the shard locks,
+  /// so the totals are consistent per shard though not globally atomic).
+  [[nodiscard]] CacheStats stats() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string identity;
+    std::string body;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept {
+    return shards_[key % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_shard_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rapsim::serve

@@ -1,0 +1,106 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+namespace rapsim::serve {
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      service_(config_.service),
+      listener_(config_.endpoint) {}
+
+Server::~Server() {
+  request_stop();
+  // run() owns the joins; if run() was never called, connections_ is
+  // empty and there is nothing to wait for.
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (Connection& connection : connections_) {
+    if (connection.thread.joinable()) connection.thread.join();
+  }
+}
+
+const Endpoint& Server::endpoint() const noexcept {
+  return listener_.endpoint();
+}
+
+void Server::request_stop() noexcept { stop_.store(true); }
+
+void Server::reap_finished_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int Server::run() {
+  while (!stop_.load()) {
+    if (service_.shutdown_requested()) break;
+    std::optional<Socket> accepted = listener_.accept(kPollMs);
+    reap_finished_connections();
+    if (!accepted) continue;
+
+    if (open_connections_.load() >= config_.max_connections) {
+      // Connection-level backpressure mirrors request-level shedding:
+      // refuse with a structured line rather than hanging the client.
+      Socket refused = std::move(*accepted);
+      (void)write_all(refused,
+                      make_parse_error_response(
+                          ErrorCode::kOverloaded,
+                          "connection limit reached; retry later") +
+                          "\n");
+      continue;
+    }
+
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    open_connections_.fetch_add(1);
+    std::thread thread(
+        [this, done, socket = std::move(*accepted)]() mutable {
+          connection_loop(std::move(socket));
+          open_connections_.fetch_sub(1);
+          done->store(true);
+        });
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(Connection{std::move(thread), std::move(done)});
+  }
+
+  // Drain: stop accepting (close the listener so backlogged connects
+  // fail fast), connection pumps observe stop_ and wind down, then the
+  // pool empties.
+  stop_.store(true);
+  listener_.close();
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& connection : connections_) {
+      if (connection.thread.joinable()) connection.thread.join();
+    }
+    connections_.clear();
+  }
+  service_.drain();
+  if (!config_.metrics_path.empty()) {
+    service_.write_metrics(config_.metrics_path);
+  }
+  return 0;
+}
+
+void Server::connection_loop(Socket socket) {
+  LineReader reader(socket);
+  std::string line;
+  for (;;) {
+    // On stop: answer complete lines already buffered, then hang up.
+    if (stop_.load() && !reader.buffered_line_ready()) return;
+    const LineReader::Status status =
+        reader.read_line(line, kPollMs, kMaxRequestBytes + 1024);
+    if (status == LineReader::Status::kClosed) return;
+    if (status == LineReader::Status::kTimeout) continue;
+    if (line.empty()) continue;  // tolerate blank keep-alive lines
+    const std::string response = service_.handle_line(line);
+    if (!write_all(socket, response + "\n")) return;
+  }
+}
+
+}  // namespace rapsim::serve

@@ -1,0 +1,90 @@
+// The socket front of the serve engine: accept loop, per-connection
+// line pumps, and the graceful-drain state machine.
+//
+// Threading model: one accept loop (inside run()), one thread per
+// connection. A connection pumps '\n'-framed requests sequentially —
+// concurrency comes from concurrent CONNECTIONS, which is how the
+// clients (compilers, autotuners) use the service. All socket waits are
+// bounded polls, so every loop observes `stop` within kPollMs.
+//
+// Drain (SIGTERM, the shutdown method, or request_stop()):
+//   1. stop accepting — the listener closes, new connects fail fast;
+//   2. connection pumps answer any COMPLETE lines already buffered,
+//      then close (a request the daemon acknowledged reading is never
+//      dropped; bytes of a half-sent line are);
+//   3. the service drains: queued + executing work finishes, workers
+//      join;
+//   4. metrics flush to config.metrics_path (when set);
+//   5. run() returns 0.
+//
+// Signal handling stays in the daemon binary (tools/rapsim_served.cpp):
+// the library exposes request_stop(), the binary wires SIGTERM/SIGINT
+// to it via a sig_atomic_t flag it polls.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace rapsim::serve {
+
+inline constexpr int kPollMs = 100;
+
+struct ServerConfig {
+  Endpoint endpoint;
+  ServiceConfig service;
+  std::string metrics_path;        // empty = no flush on drain
+  std::size_t max_connections = 256;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so the caller knows the endpoint —
+  /// including a kernel-assigned TCP port — before starting clients).
+  /// Throws std::runtime_error when the endpoint cannot be bound.
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound endpoint (TCP port resolved).
+  [[nodiscard]] const Endpoint& endpoint() const noexcept;
+
+  /// Accept-and-serve until request_stop() (or a client shutdown
+  /// request), then drain as described above. Returns the process exit
+  /// code: 0 on a clean drain.
+  int run();
+
+  /// Begin the drain from any thread / a signal watcher. Idempotent.
+  void request_stop() noexcept;
+
+  [[nodiscard]] Service& service() noexcept { return service_; }
+
+ private:
+  void connection_loop(Socket socket);
+  void reap_finished_connections();
+
+  ServerConfig config_;
+  Service service_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex connections_mutex_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+  std::atomic<std::size_t> open_connections_{0};
+};
+
+}  // namespace rapsim::serve

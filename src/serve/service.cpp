@@ -1,0 +1,435 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/json.hpp"
+#include "util/parallel.hpp"
+
+namespace rapsim::serve {
+
+namespace {
+
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+std::uint64_t elapsed_us_since(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, duration_cast<microseconds>(now - start)
+                                    .count()));
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity, std::max<std::size_t>(config.cache_shards,
+                                                          1)),
+      started_(Clock::now()) {
+  config_.queue_depth = std::max<std::size_t>(config_.queue_depth, 1);
+  std::size_t workers = config_.workers ? config_.workers
+                                        : util::worker_count();
+  workers = std::min(std::max<std::size_t>(workers, 1),
+                     util::kMaxWorkerCount);
+  config_.workers = workers;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { drain(); }
+
+bool Service::draining() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+bool Service::shutdown_requested() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_requested_;
+}
+
+void Service::count_request(const std::string& method, const char* status) {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.counter("serve.requests", {{"method", method}, {"status", status}})
+      .inc();
+}
+
+void Service::observe_latency(const std::string& method,
+                              Clock::time_point submitted) {
+  const std::uint64_t us = elapsed_us_since(submitted);
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.distribution("serve.latency_us", {{"method", method}}).observe(us);
+}
+
+std::future<std::string> Service::submit(Request request) {
+  const Clock::time_point submitted = Clock::now();
+  std::optional<Clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = submitted + milliseconds(request.deadline_ms);
+  }
+
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  const std::string method = request.method;
+
+  const auto reply_error = [&](ErrorCode code, const std::string& message) {
+    promise.set_value(make_error_response(request, code, message));
+    count_request(method, error_name(code));
+  };
+  const auto reply_ok = [&](const std::string& body) {
+    promise.set_value(make_success_response(request, false, false,
+                                            elapsed_us_since(submitted),
+                                            body));
+    count_request(method, "ok");
+    observe_latency(method, submitted);
+  };
+
+  // Control plane: answered inline, never queued, never cached — stats
+  // stays reachable even when the pool is saturated (that is how tests
+  // and operators observe the saturation).
+  if (method == "ping") {
+    telemetry::JsonWriter json;
+    json.begin_object();
+    json.kv("pong", true);
+    json.end_object();
+    reply_ok(json.str());
+    return future;
+  }
+  if (method == "stats") {
+    reply_ok(stats_body());
+    return future;
+  }
+  if (method == "shutdown") {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_requested_ = true;
+    }
+    telemetry::JsonWriter json;
+    json.begin_object();
+    json.kv("stopping", true);
+    json.end_object();
+    reply_ok(json.str());
+    return future;
+  }
+
+  MethodCall call;
+  try {
+    call = prepare_method(method, request.params);
+  } catch (const ServeError& e) {
+    reply_error(e.code(), e.what());
+    return future;
+  } catch (const std::invalid_argument& e) {
+    reply_error(ErrorCode::kBadRequest, e.what());
+    return future;
+  } catch (const std::exception& e) {
+    reply_error(ErrorCode::kInternal, e.what());
+    return future;
+  }
+
+  if (deadline && Clock::now() >= *deadline) {
+    reply_error(ErrorCode::kDeadlineExceeded,
+                "deadline elapsed before admission");
+    return future;
+  }
+
+  if (std::optional<std::string> body = cache_.lookup(call.identity)) {
+    promise.set_value(make_success_response(request, /*cached=*/true,
+                                            /*coalesced=*/false,
+                                            elapsed_us_since(submitted),
+                                            *body));
+    count_request(method, "ok");
+    observe_latency(method, submitted);
+    return future;
+  }
+
+  Waiter waiter;
+  waiter.request = std::move(request);
+  waiter.promise = std::move(promise);
+  waiter.submitted = submitted;
+  waiter.deadline = deadline;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      lock.unlock();
+      waiter.promise.set_value(make_error_response(
+          waiter.request, ErrorCode::kOverloaded, "service is draining"));
+      count_request(method, error_name(ErrorCode::kOverloaded));
+      return future;
+    }
+    if (const auto it = inflight_.find(call.identity);
+        it != inflight_.end()) {
+      waiter.coalesced = true;
+      it->second->waiters.push_back(std::move(waiter));
+      lock.unlock();
+      const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+      ++coalesced_total_;
+      return future;
+    }
+    if (queue_.size() >= config_.queue_depth) {
+      // Backpressure: shed instead of blocking the caller. The client
+      // owns the retry policy; the structured 503 is the signal.
+      lock.unlock();
+      waiter.promise.set_value(make_error_response(
+          waiter.request, ErrorCode::kOverloaded,
+          "admission queue full (" + std::to_string(config_.queue_depth) +
+              " queued); retry later"));
+      count_request(method, error_name(ErrorCode::kOverloaded));
+      {
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        ++shed_total_;
+      }
+      return future;
+    }
+    auto flight = std::make_shared<Inflight>();
+    flight->identity = call.identity;
+    flight->method = method;
+    flight->debug_hold_ms = waiter.request.debug_hold_ms;
+    flight->call = std::move(call);
+    flight->waiters.push_back(std::move(waiter));
+    inflight_.emplace(flight->identity, flight);
+    queue_.push_back(std::move(flight));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::string Service::handle_line(const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ServeError& e) {
+    return make_parse_error_response(e.code(), e.what());
+  }
+  return submit(std::move(request)).get();
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Inflight> flight;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      flight = queue_.front();
+      queue_.pop_front();
+      ++executing_;
+    }
+    execute(std::move(flight));
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --executing_;
+      if (queue_.empty() && executing_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void Service::finish_waiter(Waiter& waiter, const std::string& method,
+                            bool cached, const std::string& body) {
+  waiter.promise.set_value(make_success_response(
+      waiter.request, cached, waiter.coalesced,
+      elapsed_us_since(waiter.submitted), body));
+  count_request(method, "ok");
+  observe_latency(method, waiter.submitted);
+}
+
+void Service::fail_waiter(Waiter& waiter, const std::string& method,
+                          ErrorCode code, const std::string& message) {
+  waiter.promise.set_value(
+      make_error_response(waiter.request, code, message));
+  count_request(method, error_name(code));
+}
+
+void Service::execute(std::shared_ptr<Inflight> flight) {
+  // True when every waiter's deadline has lapsed (waiters may still be
+  // attaching, hence the lock). A flight with any open-ended waiter is
+  // never cancelled.
+  const auto all_expired = [&] {
+    const Clock::time_point now = Clock::now();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Waiter& waiter : flight->waiters) {
+      if (!waiter.deadline || now < *waiter.deadline) return false;
+    }
+    return true;
+  };
+
+  // Test hook: hold the worker (cooperatively) before executing.
+  if (flight->debug_hold_ms > 0) {
+    const Clock::time_point until =
+        Clock::now() + milliseconds(flight->debug_hold_ms);
+    while (Clock::now() < until && !all_expired()) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  }
+
+  std::string body;
+  bool failed = false;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  if (all_expired()) {
+    failed = true;
+    code = ErrorCode::kDeadlineExceeded;
+    message = "deadline elapsed before execution";
+  } else {
+    try {
+      body = flight->call.run(all_expired);
+    } catch (const ServeError& e) {
+      failed = true;
+      code = e.code();
+      message = e.what();
+    } catch (const std::invalid_argument& e) {
+      failed = true;
+      code = ErrorCode::kBadRequest;
+      message = e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      code = ErrorCode::kInternal;
+      message = e.what();
+    }
+  }
+
+  if (!failed) {
+    // Insert BEFORE detaching the in-flight entry: an identical request
+    // arriving now either coalesces onto this flight or hits the cache —
+    // there is no window where it would recompute.
+    cache_.insert(flight->identity, body);
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(flight->identity);
+    waiters = std::move(flight->waiters);
+  }
+
+  const Clock::time_point now = Clock::now();
+  for (Waiter& waiter : waiters) {
+    if (failed) {
+      fail_waiter(waiter, flight->method, code, message);
+    } else if (waiter.deadline && now >= *waiter.deadline) {
+      fail_waiter(waiter, flight->method, ErrorCode::kDeadlineExceeded,
+                  "deadline elapsed during execution");
+    } else {
+      finish_waiter(waiter, flight->method, /*cached=*/false, body);
+    }
+  }
+}
+
+void Service::drain() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && executing_ == 0; });
+    stop_workers_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+namespace {
+
+void render_cache(telemetry::JsonWriter& json, const CacheStats& stats,
+                  std::size_t capacity) {
+  json.key("cache").begin_object();
+  json.kv("hits", stats.hits);
+  json.kv("misses", stats.misses);
+  json.kv("insertions", stats.insertions);
+  json.kv("evictions", stats.evictions);
+  json.kv("entries", stats.entries);
+  json.kv("capacity", static_cast<std::uint64_t>(capacity));
+  json.end_object();
+}
+
+}  // namespace
+
+std::string Service::stats_body() {
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+  bool draining = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_depth = queue_.size();
+    in_flight = inflight_.size();
+    draining = draining_;
+  }
+  const CacheStats cache_stats = cache_.stats();
+
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.kv("uptime_ms",
+          static_cast<std::uint64_t>(
+              duration_cast<milliseconds>(Clock::now() - started_).count()));
+  json.kv("workers", static_cast<std::uint64_t>(config_.workers));
+  json.kv("queue_depth", static_cast<std::uint64_t>(queue_depth));
+  json.kv("queue_capacity", static_cast<std::uint64_t>(config_.queue_depth));
+  json.kv("in_flight", static_cast<std::uint64_t>(in_flight));
+  json.kv("draining", draining);
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    json.kv("shed_total", shed_total_);
+    json.kv("coalesced_total", coalesced_total_);
+    render_cache(json, cache_stats, cache_.capacity());
+    json.key("metrics").raw_value(metrics_.to_json());
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string Service::metrics_document() {
+  const CacheStats cache_stats = cache_.stats();
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.kv("schema_version", 1);
+  json.kv("experiment", "rapsim_served");
+  json.kv("uptime_ms",
+          static_cast<std::uint64_t>(
+              duration_cast<milliseconds>(Clock::now() - started_).count()));
+  json.kv("workers", static_cast<std::uint64_t>(config_.workers));
+  json.kv("queue_capacity", static_cast<std::uint64_t>(config_.queue_depth));
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    json.kv("shed_total", shed_total_);
+    json.kv("coalesced_total", coalesced_total_);
+    render_cache(json, cache_stats, cache_.capacity());
+    json.key("metrics").raw_value(metrics_.to_json());
+  }
+  json.end_object();
+  return json.str();
+}
+
+void Service::write_metrics(const std::string& path) {
+  const std::string document = metrics_document();
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("serve: cannot write " + tmp);
+    out << document << '\n';
+    if (!out) throw std::runtime_error("serve: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("serve: cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace rapsim::serve

@@ -1,0 +1,158 @@
+// The serve engine: request routing, worker pool, admission control,
+// coalescing, response cache and metrics — everything except sockets
+// (server.hpp adds those). Tests and the throughput bench drive a
+// Service directly, so every concurrency property is pinned without a
+// network in the loop.
+//
+// Life of a request (submit):
+//
+//   1. draining?            -> 503 overloaded ("draining") immediately
+//   2. control method?      -> ping / stats / shutdown answered inline,
+//                              never queued, never cached
+//   3. prepare_method       -> params validated on the caller's thread;
+//                              yields the canonical identity + closure
+//   4. cache lookup         -> hit: the stored result body is spliced
+//                              back verbatim (byte-identical), cached=true
+//   5. coalesce             -> an in-flight computation with the same
+//                              identity adopts this request as a waiter
+//                              (coalesced=true when it completes)
+//   6. admission            -> queue full: 503 overloaded WITHOUT
+//                              blocking (backpressure; serve.shed_total);
+//                              else enqueue for the worker pool
+//
+// Deadlines are cooperative: checked at admission, at dequeue, inside
+// the debug hold loop, and at handler phase boundaries. A request whose
+// deadline lapses gets 408 deadline_exceeded even if the shared
+// computation later completes (its co-waiters still get the result).
+//
+// Every outcome lands in a telemetry::MetricsRegistry —
+// serve.requests{method,status}, serve.latency_us{method} distributions
+// (p50/p95/p99 for free), serve.shed_total, serve.coalesced_total, cache
+// counters — exported by the stats method and flushed to
+// results/serve/metrics.json on drain.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/methods.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rapsim::serve {
+
+struct ServiceConfig {
+  std::size_t workers = 0;        // 0 = util::worker_count()
+  std::size_t queue_depth = 64;   // queued-but-not-started cap (>= 1)
+  std::size_t cache_capacity = 1024;  // entries; 0 disables the cache
+  std::size_t cache_shards = 8;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit one parsed request. The future yields the complete response
+  /// line (success or error envelope, no trailing newline). Control
+  /// methods, cache hits, sheds and validation errors complete the
+  /// future before returning.
+  [[nodiscard]] std::future<std::string> submit(Request request);
+
+  /// Parse + submit + wait: the whole request cycle for one line. Never
+  /// throws — malformed lines yield an error envelope.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Stop admitting, finish every queued and in-flight request, stop the
+  /// workers. Idempotent; called by the destructor.
+  void drain();
+
+  [[nodiscard]] bool draining() const noexcept;
+  /// Set once a client issued the shutdown method; the socket server
+  /// polls this and begins its SIGTERM-equivalent drain.
+  [[nodiscard]] bool shutdown_requested() const noexcept;
+
+  [[nodiscard]] std::size_t worker_threads() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return config_.queue_depth;
+  }
+
+  /// The stats method's result body (queue/cache/uptime snapshot plus
+  /// the full metrics registry).
+  [[nodiscard]] std::string stats_body();
+  /// The standalone metrics document flushed to results/serve/metrics.json.
+  [[nodiscard]] std::string metrics_document();
+  /// Atomic write (tmp + rename) of metrics_document() to `path`,
+  /// creating parent directories. Throws std::runtime_error on IO error.
+  void write_metrics(const std::string& path);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    Request request;
+    std::promise<std::string> promise;
+    Clock::time_point submitted;
+    std::optional<Clock::time_point> deadline;
+    bool coalesced = false;
+  };
+  /// One identity's shared in-flight computation plus everyone waiting
+  /// on it. Guarded by mutex_ until a worker takes the waiters out.
+  struct Inflight {
+    std::string identity;
+    std::string method;
+    MethodCall call;
+    std::uint64_t debug_hold_ms = 0;
+    std::vector<Waiter> waiters;
+  };
+
+  void worker_loop();
+  void execute(std::shared_ptr<Inflight> flight);
+  void finish_waiter(Waiter& waiter, const std::string& method, bool cached,
+                     const std::string& body);
+  void fail_waiter(Waiter& waiter, const std::string& method, ErrorCode code,
+                   const std::string& message);
+  void count_request(const std::string& method, const char* status);
+  void observe_latency(const std::string& method,
+                       Clock::time_point submitted);
+
+  ServiceConfig config_;
+  ResponseCache cache_;
+  Clock::time_point started_;
+
+  mutable std::mutex mutex_;  // queue + inflight map + lifecycle flags
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Inflight>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::size_t executing_ = 0;
+  bool draining_ = false;
+  bool stop_workers_ = false;
+  bool shutdown_requested_ = false;
+
+  std::mutex metrics_mutex_;
+  telemetry::MetricsRegistry metrics_;
+  std::uint64_t shed_total_ = 0;
+  std::uint64_t coalesced_total_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rapsim::serve

@@ -1,0 +1,205 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace rapsim::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) { (void)fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_inet_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("serve: bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::describe() const {
+  if (is_unix()) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(const Endpoint& endpoint) : endpoint_(endpoint) {
+  const int domain = endpoint_.is_unix() ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  socket_ = Socket(fd);
+  set_cloexec(fd);
+
+  if (endpoint_.is_unix()) {
+    // A stale socket file from a crashed daemon would fail the bind;
+    // unlinking is safe because a live listener holds the inode open.
+    ::unlink(endpoint_.path.c_str());
+    const sockaddr_un addr = make_unix_addr(endpoint_.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      fail_errno("bind " + endpoint_.describe());
+    }
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = make_inet_addr(endpoint_.host, endpoint_.port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      fail_errno("bind " + endpoint_.describe());
+    }
+    if (endpoint_.port == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        fail_errno("getsockname");
+      }
+      endpoint_.port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(fd, 128) != 0) fail_errno("listen " + endpoint_.describe());
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() noexcept {
+  if (!socket_.valid()) return;
+  socket_.close();
+  if (endpoint_.is_unix()) ::unlink(endpoint_.path.c_str());
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  pollfd pfd{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    fail_errno("poll");
+  }
+  if (ready == 0) return std::nullopt;
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return std::nullopt;
+    }
+    fail_errno("accept");
+  }
+  set_cloexec(fd);
+  return Socket(fd);
+}
+
+Socket connect_to(const Endpoint& endpoint) {
+  const int domain = endpoint.is_unix() ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket socket(fd);
+  set_cloexec(fd);
+  int rc;
+  if (endpoint.is_unix()) {
+    const sockaddr_un addr = make_unix_addr(endpoint.path);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = make_inet_addr(endpoint.host, endpoint.port);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) fail_errno("connect " + endpoint.describe());
+  return socket;
+}
+
+bool write_all(Socket& socket, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::buffered_line_ready() const noexcept {
+  return buffer_.find('\n') != std::string::npos;
+}
+
+LineReader::Status LineReader::read_line(std::string& line, int timeout_ms,
+                                         std::size_t max_bytes) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return Status::kLine;
+    }
+    if (buffer_.size() > max_bytes) return Status::kClosed;
+
+    pollfd pfd{socket_.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::kClosed;
+    }
+    if (ready == 0) return Status::kTimeout;
+
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kClosed;
+    }
+    if (n == 0) return Status::kClosed;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rapsim::serve

@@ -1,0 +1,114 @@
+// Thin POSIX socket layer for the serve daemon and client.
+//
+// Two transports, one abstraction: a UNIX domain socket (the default —
+// filesystem permissions are the access control) and a TCP loopback
+// fallback for hosts or clients that cannot share a filesystem path.
+// Endpoint picks the transport: a non-empty `path` means AF_UNIX,
+// otherwise 127.0.0.1:`port` (port 0 lets the kernel choose; the bound
+// port is readable back from the listener for tests).
+//
+// Everything blocks with bounded waits: accept and line reads poll()
+// with a timeout so the server's loops can observe stop flags between
+// waits — that is what makes SIGTERM drain latency bounded. All fds are
+// CLOEXEC; SIGPIPE is avoided with MSG_NOSIGNAL.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rapsim::serve {
+
+struct Endpoint {
+  std::string path;              // non-empty = UNIX domain socket
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        // TCP fallback; 0 = kernel-assigned
+
+  [[nodiscard]] bool is_unix() const noexcept { return !path.empty(); }
+  /// "unix:/run/rapsim.sock" or "tcp:127.0.0.1:7411" — log/CLI spelling.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Owning fd wrapper (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening server socket. Unlinks a stale UNIX socket path on
+/// bind and removes it again on destruction.
+class Listener {
+ public:
+  /// Throws std::runtime_error (with errno text) when the endpoint
+  /// cannot be bound.
+  explicit Listener(const Endpoint& endpoint);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The endpoint actually bound (TCP port resolved when 0 was asked).
+  [[nodiscard]] const Endpoint& endpoint() const noexcept {
+    return endpoint_;
+  }
+  /// One accepted connection, or nullopt after `timeout_ms` with no
+  /// arrival. Throws on listener failure.
+  [[nodiscard]] std::optional<Socket> accept(int timeout_ms);
+
+  /// Stop listening now (drain step 1): closes the socket and unlinks a
+  /// UNIX socket path so new connects fail fast instead of queueing in
+  /// the backlog. Idempotent; the destructor calls it.
+  void close() noexcept;
+
+ private:
+  Endpoint endpoint_;
+  Socket socket_;
+};
+
+/// Connect to a serve endpoint (client side). Throws std::runtime_error
+/// when the connection cannot be established.
+[[nodiscard]] Socket connect_to(const Endpoint& endpoint);
+
+/// Write all of `data` (handles short writes; MSG_NOSIGNAL). Returns
+/// false when the peer is gone.
+[[nodiscard]] bool write_all(Socket& socket, std::string_view data);
+
+/// Buffered newline-framed reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(Socket& socket) noexcept : socket_(socket) {}
+
+  enum class Status { kLine, kTimeout, kClosed };
+
+  /// Wait up to `timeout_ms` for one complete '\n'-terminated line (the
+  /// terminator is stripped). kClosed covers both EOF and errors. Lines
+  /// longer than `max_bytes` fail the connection (kClosed) — the caller
+  /// cannot be made to buffer unboundedly.
+  Status read_line(std::string& line, int timeout_ms,
+                   std::size_t max_bytes);
+
+  /// A complete line already sitting in the buffer (drained on shutdown
+  /// so received-but-unprocessed requests still get answers).
+  [[nodiscard]] bool buffered_line_ready() const noexcept;
+
+ private:
+  Socket& socket_;
+  std::string buffer_;
+};
+
+}  // namespace rapsim::serve

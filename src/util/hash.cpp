@@ -1,0 +1,14 @@
+#include "util/hash.hpp"
+
+#include <cstdio>
+
+namespace rapsim::util {
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace rapsim::util

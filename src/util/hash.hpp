@@ -1,0 +1,55 @@
+// Content hashing shared by every cache in the repository.
+//
+// FNV-1a 64 is the single identity function for "same bytes, same
+// result" caches: the trace content hash (replay/trace.cpp), the
+// campaign cell keys (replay/campaign.cpp) and the serve response cache
+// (serve/cache.hpp) all key on it. Hoisting it here removes the
+// duplicate-identity risk of each subsystem hand-rolling the constants:
+// one definition, one set of tests, and a campaign cell and a server
+// cache entry derived from the same canonical string are guaranteed to
+// agree.
+//
+// FNV-1a is NOT cryptographic — these caches are local trust domains
+// (files the user owns, a loopback socket) where collision resistance
+// against an adversary is not part of the threat model; what matters is
+// speed, determinism across platforms, and a stable 64-bit identity.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rapsim::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a 64 over `bytes`, continuing from `hash` (chain calls to hash a
+/// logical concatenation without materializing it).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view bytes, std::uint64_t hash = kFnvOffsetBasis) noexcept {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Mix one 64-bit word into a running FNV-1a hash (little-endian byte
+/// order, so the result matches hashing the word's canonical encoding).
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(
+    std::uint64_t word, std::uint64_t hash = kFnvOffsetBasis) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Canonical 16-digit lowercase hex rendering of a 64-bit hash — the
+/// spelling used in campaign cell keys, manifest entries and serve cache
+/// diagnostics.
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+}  // namespace rapsim::util

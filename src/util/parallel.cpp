@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -12,8 +13,17 @@ namespace rapsim::util {
 
 std::size_t worker_count() {
   if (const char* env = std::getenv("RAPSIM_THREADS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n > 0) return static_cast<std::size_t>(n);
+    char* end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(env, &end, 10);
+    // Strict contract: the whole token must be a positive decimal integer
+    // ("8x", "", "0" and "-3" all fall through to the hardware count), and
+    // accepted values are clamped so a stray env var cannot request an
+    // absurd number of OS threads. Positive overflow saturates at
+    // LLONG_MAX and still clamps — "huge" means the ceiling, not a typo.
+    if (end != env && *end == '\0' && n > 0) {
+      return std::min(static_cast<std::size_t>(n), kMaxWorkerCount);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? hw : 1;

@@ -15,10 +15,18 @@
 
 namespace rapsim::util {
 
-/// Number of workers used by parallel_for_chunks: the RAPSIM_THREADS env
-/// var when set to a positive integer, otherwise the full hardware
-/// concurrency (campaign shards scale to whatever the machine offers; 1
-/// when the runtime cannot report a count).
+/// Ceiling on what RAPSIM_THREADS may request: a mis-set env var must not
+/// be able to ask a thread-pool owner (parallel_for_chunks, the serve
+/// worker pool) for millions of OS threads.
+inline constexpr std::size_t kMaxWorkerCount = 1024;
+
+/// Number of workers used by parallel_for_chunks (and the serve worker
+/// pool): the RAPSIM_THREADS env var when it is a strict positive decimal
+/// integer — the whole token must parse, so "", "abc", "8x", "0" and
+/// negative values all fall through — clamped to kMaxWorkerCount;
+/// otherwise the full hardware concurrency (1 when the runtime cannot
+/// report a count). The parsing contract is pinned by
+/// tests/parallel_test.cpp.
 [[nodiscard]] std::size_t worker_count();
 
 /// Invoke fn(chunk_index, begin, end) for `chunks` contiguous sub-ranges of

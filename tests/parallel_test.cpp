@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace rapsim::util {
@@ -70,6 +73,57 @@ TEST(WorkerCount, IsPositiveAndBounded) {
   const std::size_t n = worker_count();
   EXPECT_GE(n, 1u);
   EXPECT_LE(n, 64u);
+}
+
+/// Sets RAPSIM_THREADS for one test and restores the previous value.
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    if (const char* value = std::getenv("RAPSIM_THREADS")) saved_ = value;
+  }
+  ~ThreadsEnvGuard() {
+    if (saved_) {
+      setenv("RAPSIM_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("RAPSIM_THREADS");
+    }
+  }
+  void set(const char* value) { setenv("RAPSIM_THREADS", value, 1); }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(WorkerCount, HonorsWellFormedOverride) {
+  ThreadsEnvGuard env;
+  env.set("8");
+  EXPECT_EQ(worker_count(), 8u);
+  env.set("1");
+  EXPECT_EQ(worker_count(), 1u);
+}
+
+TEST(WorkerCount, ClampsAbsurdOverridesToTheCeiling) {
+  ThreadsEnvGuard env;
+  env.set("999999999");
+  EXPECT_EQ(worker_count(), kMaxWorkerCount);
+  env.set("18446744073709551617");  // > int64: strtoll saturates, clamp holds
+  EXPECT_EQ(worker_count(), kMaxWorkerCount);
+}
+
+TEST(WorkerCount, IgnoresMalformedOverrides) {
+  ThreadsEnvGuard env;
+  const std::size_t fallback = [] {
+    ThreadsEnvGuard inner;
+    unsetenv("RAPSIM_THREADS");
+    return worker_count();
+  }();
+  // Every malformed value falls back to the hardware default, never 0.
+  for (const char* bad : {"", "  ", "zero", "8x", "x8", "3.5", "0x10",
+                          "0", "-4", "+"}) {
+    env.set(bad);
+    EXPECT_EQ(worker_count(), fallback) << "RAPSIM_THREADS='" << bad << "'";
+    EXPECT_GE(worker_count(), 1u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,480 @@
+// Unit + concurrency tests for the serve subsystem driven WITHOUT a
+// socket: the JSON parser, the protocol codec, the response cache, and a
+// Service instance submitted to directly. Everything timing-sensitive
+// (coalescing, shedding, deadlines) is made deterministic with the
+// debug_hold_ms hook plus stats polling — no sleeps standing in for
+// synchronization.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/jsonvalue.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "util/hash.hpp"
+
+namespace rapsim::serve {
+namespace {
+
+// ------------------------------------------------------------- JSON parser
+
+TEST(JsonParse, ScalarsRoundTrip) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("-42").as_integer(), -42);
+  EXPECT_TRUE(parse_json("1.5").is_number());
+  EXPECT_FALSE(parse_json("1.5").is_integer());
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  7 ").as_integer(), 7);
+}
+
+TEST(JsonParse, ObjectKeepsInsertionOrder) {
+  const JsonValue doc = parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.serialize(), R"({"z":1,"a":2,"m":3})");
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("a")->as_integer(), 2);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_json(R"({"a":1,"a":2})"), std::invalid_argument);
+}
+
+TEST(JsonParse, RejectsTrailingGarbageAndCommas) {
+  EXPECT_THROW(parse_json("1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,2,]"), std::invalid_argument);
+  EXPECT_THROW(parse_json(R"({"a":1,})"), std::invalid_argument);
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("NaN"), std::invalid_argument);
+}
+
+TEST(JsonParse, DepthCapStopsCraftedNesting) {
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxJsonDepth + 8; ++i) deep += '[';
+  for (std::size_t i = 0; i < kMaxJsonDepth + 8; ++i) deep += ']';
+  EXPECT_THROW(parse_json(deep), std::invalid_argument);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse_json(R"("A\n")").as_string(), "A\n");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(parse_json(R"("\uD83D")"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesFullEnvelope) {
+  const Request request = parse_request(
+      R"({"id":"r1","method":"certify","params":{"width":32},)"
+      R"("deadline_ms":250,"debug_hold_ms":5})");
+  EXPECT_EQ(request.id_json, "\"r1\"");
+  EXPECT_EQ(request.method, "certify");
+  ASSERT_NE(request.params.find("width"), nullptr);
+  EXPECT_EQ(request.deadline_ms, 250u);
+  EXPECT_EQ(request.debug_hold_ms, 5u);
+}
+
+TEST(Protocol, DebugHoldIsCapped) {
+  const Request request =
+      parse_request(R"({"method":"ping","debug_hold_ms":999999999})");
+  EXPECT_EQ(request.debug_hold_ms, kMaxDebugHoldMs);
+}
+
+TEST(Protocol, RejectsUnknownEnvelopeMember) {
+  try {
+    (void)parse_request(R"({"method":"ping","deadline":5})");
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+}
+
+TEST(Protocol, RejectsMissingMethodAndBadParams) {
+  EXPECT_THROW((void)parse_request("{}"), ServeError);
+  EXPECT_THROW((void)parse_request("[1,2]"), ServeError);
+  EXPECT_THROW((void)parse_request(R"({"method":"x","params":3})"),
+               ServeError);
+  EXPECT_THROW((void)parse_request("not json"), ServeError);
+}
+
+TEST(Protocol, ResultIsAlwaysTheLastMember) {
+  Request request;
+  request.id_json = "7";
+  request.method = "certify";
+  const std::string line =
+      make_success_response(request, true, false, 12, R"({"x":1})");
+  EXPECT_EQ(line.find("\"id\":7"), 1u);
+  ASSERT_GE(line.size(), 2u);
+  // The result body is the exact suffix between `"result":` and the
+  // closing brace — the invariant the client's byte-extraction relies on.
+  const std::size_t marker = line.find("\"result\":");
+  ASSERT_NE(marker, std::string::npos);
+  EXPECT_EQ(line.substr(marker + 9, line.size() - marker - 10), R"({"x":1})");
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(Protocol, ErrorEnvelopeShape) {
+  Request request;
+  request.method = "replay";
+  const std::string line =
+      make_error_response(request, ErrorCode::kOverloaded, "queue full");
+  const JsonValue doc = parse_json(line);
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  const JsonValue* error = doc.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->as_integer(), 503);
+  EXPECT_EQ(error->find("name")->as_string(), "overloaded");
+}
+
+// ------------------------------------------------------------------- cache
+
+TEST(ResponseCache, HitAfterInsertIsByteIdentical) {
+  ResponseCache cache(8, 2);
+  EXPECT_FALSE(cache.lookup("k1").has_value());
+  cache.insert("k1", R"({"answer":42})");
+  const auto hit = cache.lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, R"({"answer":42})");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResponseCache, EvictsLeastRecentlyUsedPerShard) {
+  // One shard so the LRU order is globally observable.
+  ResponseCache cache(2, 1);
+  cache.insert("a", "A");
+  cache.insert("b", "B");
+  ASSERT_TRUE(cache.lookup("a").has_value());  // refresh a; b is now LRU
+  cache.insert("c", "C");                      // evicts b
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResponseCache, CapacityZeroDisables) {
+  ResponseCache cache(0, 4);
+  cache.insert("k", "v");
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResponseCache, RefreshingAnEntryReplacesItsBody) {
+  ResponseCache cache(4, 1);
+  cache.insert("k", "old");
+  cache.insert("k", "new");
+  EXPECT_EQ(cache.lookup("k").value(), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResponseCache, ConcurrentMixedUseIsSafe) {
+  ResponseCache cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key =
+            "key-" + std::to_string((t * 500 + i) % 97);
+        cache.insert(key, "body-" + key);
+        if (const auto hit = cache.lookup(key)) {
+          ASSERT_EQ(*hit, "body-" + key);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+// ------------------------------------------------- service: basic routing
+
+std::string result_suffix(const std::string& line) {
+  const std::size_t marker = line.find("\"result\":");
+  EXPECT_NE(marker, std::string::npos) << line;
+  return line.substr(marker + 9, line.size() - marker - 10);
+}
+
+int error_code_of(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  const JsonValue* error = doc.find("error");
+  return error ? static_cast<int>(error->find("code")->as_integer()) : 0;
+}
+
+TEST(Service, PingStatsAndUnknownMethod) {
+  Service service({.workers = 1});
+  EXPECT_EQ(result_suffix(service.handle_line(R"({"method":"ping"})")),
+            R"({"pong":true})");
+  const JsonValue stats =
+      parse_json(result_suffix(service.handle_line(R"({"method":"stats"})")));
+  EXPECT_EQ(stats.find("workers")->as_integer(), 1);
+  EXPECT_EQ(stats.find("queue_capacity")->as_integer(), 64);
+  ASSERT_NE(stats.find("cache"), nullptr);
+  ASSERT_NE(stats.find("metrics"), nullptr);
+  EXPECT_EQ(error_code_of(service.handle_line(R"({"method":"frobnicate"})")),
+            404);
+}
+
+TEST(Service, MalformedLineAndBadParams) {
+  Service service({.workers = 1});
+  EXPECT_EQ(error_code_of(service.handle_line("{oops")), 400);
+  EXPECT_EQ(error_code_of(service.handle_line(
+                R"({"method":"certify","params":{"addresses":[]}})")),
+            400);
+  EXPECT_EQ(error_code_of(service.handle_line(
+                R"({"method":"certify","params":{"addresses":[0,1],)"
+                R"("scheme":"bogus"}})")),
+            400);
+  EXPECT_EQ(error_code_of(service.handle_line(
+                R"({"method":"replay","params":{"trace":"x","trace_path":"y"}})")),
+            400);
+}
+
+TEST(Service, AllFourPoolMethodsAnswer) {
+  Service service({.workers = 1});
+  const std::string certify = result_suffix(service.handle_line(
+      R"({"method":"certify","params":{"addresses":[0,32,64],"width":32}})"));
+  EXPECT_NE(parse_json(certify).find("certificate"), nullptr);
+
+  const std::string lint = result_suffix(service.handle_line(
+      R"({"method":"lint","params":{"kernel":)"
+      R"("kernel k\nwidth 32\nrows 4\nsite s load flat lane=1\n"}})"));
+  EXPECT_NE(parse_json(lint).find("severity"), nullptr);
+
+  const std::string replay = result_suffix(service.handle_line(
+      R"({"method":"replay","params":{"trace":)"
+      R"("rapsim-trace v1\nwidth 4\nthreads 4\nsize 16\n)"
+      R"(read 0 0 f 0 1 2 3\nend\n","scheme":"rap","seed":5}})"));
+  EXPECT_NE(parse_json(replay).find("time"), nullptr);
+
+  const std::string advise = result_suffix(service.handle_line(
+      R"({"method":"advise","params":{"addresses":[0,32,64],"width":32,)"
+      R"("rows":4,"draws":4}})"));
+  EXPECT_NE(parse_json(advise).find("recommended"), nullptr);
+}
+
+// --------------------------------------- service: cache hits on the wire
+
+TEST(Service, SecondIdenticalCallIsCachedAndByteIdentical) {
+  Service service({.workers = 1});
+  const std::string request =
+      R"({"method":"certify","params":{"addresses":[0,1,2,3],"width":32}})";
+  const std::string first = service.handle_line(request);
+  const std::string second = service.handle_line(request);
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(result_suffix(first), result_suffix(second));
+}
+
+TEST(Service, CacheIdentityIgnoresIdAndDebugHold) {
+  Service service({.workers = 1});
+  const std::string first = service.handle_line(
+      R"({"id":"a","method":"certify","params":{"addresses":[4,5],)"
+      R"("width":32},"debug_hold_ms":1})");
+  const std::string second = service.handle_line(
+      R"({"id":"b","method":"certify","params":{"addresses":[4,5],)"
+      R"("width":32}})");
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(second.find("\"id\":\"b\""), std::string::npos);
+  EXPECT_EQ(result_suffix(first), result_suffix(second));
+}
+
+TEST(Service, InlineAndPathTracesShareOneCacheEntry) {
+  const std::string text =
+      "rapsim-trace v1\nwidth 4\nthreads 4\nsize 16\n"
+      "read 0 0 f 0 1 2 3\nend\n";
+  const std::string path = testing::TempDir() + "/serve_cache_share.trace";
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  Service service({.workers = 1});
+  const std::string by_text = service.handle_line(
+      R"({"method":"replay","params":{"scheme":"raw","trace":)"
+      R"("rapsim-trace v1\nwidth 4\nthreads 4\nsize 16\n)"
+      R"(read 0 0 f 0 1 2 3\nend\n"}})");
+  const std::string by_path = service.handle_line(
+      R"({"method":"replay","params":{"scheme":"raw","trace_path":")" + path +
+      R"("}})");
+  EXPECT_NE(by_text.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(by_path.find("\"cached\":true"), std::string::npos)
+      << "a path-loaded copy of the same stream must hit the inline entry";
+  EXPECT_EQ(result_suffix(by_text), result_suffix(by_path));
+}
+
+// ----------------------------- service: coalescing, shedding, deadlines
+
+Request make_request(const std::string& line) { return parse_request(line); }
+
+/// Poll the stats body until `ready` accepts it (bounded).
+void await_stats(Service& service,
+                 const std::function<bool(const JsonValue&)>& ready) {
+  for (int i = 0; i < 2000; ++i) {
+    const JsonValue stats = parse_json(
+        result_suffix(service.handle_line(R"({"method":"stats"})")));
+    if (ready(stats)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "stats condition not reached";
+}
+
+TEST(Service, IdenticalInflightRequestsCoalesce) {
+  Service service({.workers = 1});
+  const std::string line =
+      R"({"method":"certify","params":{"addresses":[8,9],"width":32}})";
+  Request held = make_request(line);
+  held.debug_hold_ms = 300;
+  std::future<std::string> first = service.submit(std::move(held));
+  // Wait until the worker holds the flight (queue empty, still in flight).
+  await_stats(service, [](const JsonValue& stats) {
+    return stats.find("queue_depth")->as_integer() == 0 &&
+           stats.find("in_flight")->as_integer() == 1;
+  });
+  std::future<std::string> second = service.submit(make_request(line));
+  const std::string first_line = first.get();
+  const std::string second_line = second.get();
+  EXPECT_NE(first_line.find("\"coalesced\":false"), std::string::npos);
+  EXPECT_NE(second_line.find("\"coalesced\":true"), std::string::npos);
+  EXPECT_EQ(result_suffix(first_line), result_suffix(second_line));
+  const JsonValue stats = parse_json(
+      result_suffix(service.handle_line(R"({"method":"stats"})")));
+  EXPECT_EQ(stats.find("coalesced_total")->as_integer(), 1);
+}
+
+TEST(Service, FullQueueShedsWithStructured503) {
+  Service service({.workers = 1, .queue_depth = 1});
+  Request held = make_request(
+      R"({"method":"certify","params":{"addresses":[1],"width":32}})");
+  held.debug_hold_ms = 1000;
+  std::future<std::string> executing = service.submit(std::move(held));
+  await_stats(service, [](const JsonValue& stats) {
+    return stats.find("queue_depth")->as_integer() == 0 &&
+           stats.find("in_flight")->as_integer() == 1;
+  });
+  // Fills the queue slot.
+  std::future<std::string> queued = service.submit(make_request(
+      R"({"method":"certify","params":{"addresses":[2],"width":32}})"));
+  // Must shed immediately — the future is ready without waiting.
+  std::future<std::string> shed = service.submit(make_request(
+      R"({"id":"s","method":"certify","params":{"addresses":[3],"width":32}})"));
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const std::string shed_line = shed.get();
+  EXPECT_EQ(error_code_of(shed_line), 503);
+  EXPECT_NE(shed_line.find("\"id\":\"s\""), std::string::npos);
+
+  EXPECT_EQ(error_code_of(executing.get()), 0);
+  EXPECT_EQ(error_code_of(queued.get()), 0);
+  const JsonValue stats = parse_json(
+      result_suffix(service.handle_line(R"({"method":"stats"})")));
+  EXPECT_EQ(stats.find("shed_total")->as_integer(), 1);
+}
+
+TEST(Service, DeadlineLapsesDuringHold) {
+  Service service({.workers = 1});
+  Request request = make_request(
+      R"({"method":"certify","params":{"addresses":[6],"width":32},)"
+      R"("deadline_ms":30})");
+  request.debug_hold_ms = 5000;
+  const auto start = std::chrono::steady_clock::now();
+  const std::string line = service.submit(std::move(request)).get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(error_code_of(line), 408);
+  // The hold loop must give up at the deadline, not sit out the hold.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            4000);
+}
+
+TEST(Service, ExpiredWaiterGets408WhileOpenEndedWaiterGetsResult) {
+  Service service({.workers = 1});
+  const std::string line =
+      R"({"method":"certify","params":{"addresses":[7],"width":32}})";
+  Request held = make_request(line);
+  held.debug_hold_ms = 300;  // no deadline: the flight always completes
+  std::future<std::string> patient = service.submit(std::move(held));
+  await_stats(service, [](const JsonValue& stats) {
+    return stats.find("queue_depth")->as_integer() == 0 &&
+           stats.find("in_flight")->as_integer() == 1;
+  });
+  Request hurried = make_request(line);
+  hurried.deadline_ms = 20;  // lapses during the co-waiter's hold
+  std::future<std::string> impatient = service.submit(std::move(hurried));
+  EXPECT_EQ(error_code_of(patient.get()), 0);
+  EXPECT_EQ(error_code_of(impatient.get()), 408);
+}
+
+TEST(Service, DrainRejectsNewWorkAndFinishesInflight) {
+  auto service = std::make_unique<Service>(ServiceConfig{.workers = 1});
+  Request held = make_request(
+      R"({"method":"certify","params":{"addresses":[11],"width":32}})");
+  held.debug_hold_ms = 100;
+  std::future<std::string> inflight = service->submit(std::move(held));
+  std::thread drainer([&service] { service->drain(); });
+  // In-flight work finishes with a result even though drain started.
+  EXPECT_EQ(error_code_of(inflight.get()), 0);
+  drainer.join();
+  EXPECT_TRUE(service->draining());
+  std::future<std::string> rejected = service->submit(make_request(
+      R"({"method":"certify","params":{"addresses":[12],"width":32}})"));
+  EXPECT_EQ(error_code_of(rejected.get()), 503);
+}
+
+TEST(Service, ShutdownMethodFlagsTheServer) {
+  Service service({.workers = 1});
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(result_suffix(service.handle_line(R"({"method":"shutdown"})")),
+            R"({"stopping":true})");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(Service, MetricsDocumentShape) {
+  Service service({.workers = 1});
+  (void)service.handle_line(R"({"method":"ping"})");
+  const JsonValue doc = parse_json(service.metrics_document());
+  EXPECT_EQ(doc.find("schema_version")->as_integer(), 1);
+  EXPECT_EQ(doc.find("experiment")->as_string(), "rapsim_served");
+  ASSERT_NE(doc.find("cache"), nullptr);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+}
+
+// -------------------------------------------------- client response parse
+
+TEST(ParseResponse, ExtractsResultBytesVerbatim) {
+  Request request;
+  request.id_json = "\"x\"";
+  request.method = "certify";
+  const std::string body = R"({"bound":4,"note":"\"result\":quoted"})";
+  const ClientResponse response =
+      parse_response(make_success_response(request, true, false, 9, body));
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.cached);
+  EXPECT_EQ(response.elapsed_us, 9u);
+  EXPECT_EQ(response.result_json, body);
+}
+
+TEST(ParseResponse, CracksErrorEnvelope) {
+  Request request;
+  request.method = "lint";
+  const ClientResponse response = parse_response(
+      make_error_response(request, ErrorCode::kDeadlineExceeded, "late"));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, 408);
+  EXPECT_EQ(response.error_name, "deadline_exceeded");
+  EXPECT_EQ(response.error_message, "late");
+}
+
+}  // namespace
+}  // namespace rapsim::serve

@@ -1,0 +1,197 @@
+#!/usr/bin/env bash
+# Validate the machine-readable contracts of the serve protocol.
+#
+#   tools/check_serve_schema.sh [path/to/rapsim-served] [path/to/rapsim-client]
+#
+# Starts a throwaway daemon, exercises every method family, captures the
+# FULL response envelopes (rapsim-client --verbose), drains via the
+# shutdown method, then python-validates:
+#
+#   - the success envelope: member set, result strictly last, elapsed_us
+#     integer, cached/coalesced booleans;
+#   - the repeated certify: cached=true and a byte-identical result body;
+#   - the error envelope: code/name/message, stable code<->name pairs;
+#   - the stats result: queue/cache counters and the metrics registry
+#     with serve.requests counters and serve.latency_us p50/p95/p99;
+#   - the flushed metrics.json: schema_version 1 and the same registry.
+#
+# Registered as the ctest entry `serve_schema` with SKIP_RETURN_CODE 77
+# (skips without python3); also run standalone by tools/run_all.sh.
+
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
+SERVED="${1:-build/tools/rapsim-served}"
+CLIENT="${2:-build/tools/rapsim-client}"
+for bin in "$SERVED" "$CLIENT"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_serve_schema: binary not found: $bin" >&2
+    exit 1
+  fi
+done
+
+json_schema_require_python3 check_serve_schema 77
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/served.sock"
+METRICS="$WORK/metrics.json"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVED" --socket="$SOCK" --metrics-out="$METRICS" > "$WORK/served.log" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "check_serve_schema: daemon died on startup" >&2; exit 1; }
+  sleep 0.1
+done
+
+rpc() { "$CLIENT" "$@" --socket="$SOCK" --verbose; }
+
+CERTIFY='--addresses=0,32,64,96 --width=32 --scheme=rap --seed=9'
+# shellcheck disable=SC2086  # word-splitting the flag bundle is intended
+rpc certify $CERTIFY --id=cold > "$WORK/certify_cold.json"
+# shellcheck disable=SC2086
+rpc certify $CERTIFY --id=warm > "$WORK/certify_warm.json"
+rpc lint --file="$HERE/../examples/naive_transpose.kernel" \
+    > "$WORK/lint.json"
+rpc replay --trace="$HERE/../examples/contiguous_stride.trace" \
+    --scheme=raw > "$WORK/replay.json"
+rpc advise --addresses="0,16,32" --rows=4 --width=16 --draws=4 \
+    > "$WORK/advise.json"
+rpc stats > "$WORK/stats.json"
+"$CLIENT" raw '{"id":1,"method":"no-such-method"}' --socket="$SOCK" \
+    > "$WORK/error.json"
+rpc shutdown > /dev/null
+wait "$DAEMON_PID" || {
+  echo "check_serve_schema: daemon did not drain cleanly" >&2; exit 1; }
+DAEMON_PID=""
+
+json_schema_validate "$WORK" <<'EOF'
+import json
+import sys
+
+work = sys.argv[1]
+
+def load(name):
+    with open(f"{work}/{name}", encoding="utf-8") as fh:
+        return fh.read().strip()
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"serve schema violation: {what}")
+
+ENVELOPE = ["id", "ok", "method", "cached", "coalesced", "elapsed_us",
+            "result"]
+
+def check_success(raw, name, method):
+    doc = json.loads(raw)
+    require(list(doc.keys()) == ENVELOPE,
+            f"{name}: envelope members are exactly {ENVELOPE} in order, "
+            f"got {list(doc.keys())}")
+    require(doc["ok"] is True, f"{name}: ok is true")
+    require(doc["method"] == method, f"{name}: method echoes '{method}'")
+    require(isinstance(doc["cached"], bool), f"{name}: cached is a bool")
+    require(isinstance(doc["coalesced"], bool),
+            f"{name}: coalesced is a bool")
+    require(isinstance(doc["elapsed_us"], int) and doc["elapsed_us"] >= 0,
+            f"{name}: elapsed_us is a non-negative integer")
+    marker = raw.find('"result":')
+    require(marker != -1 and raw.endswith("}"),
+            f"{name}: result is the last member")
+    return doc, raw[marker + 9:-1]
+
+cold_doc, cold_body = check_success(load("certify_cold.json"),
+                                    "certify_cold", "certify")
+warm_doc, warm_body = check_success(load("certify_warm.json"),
+                                    "certify_warm", "certify")
+require(cold_doc["id"] == "cold" and warm_doc["id"] == "warm",
+        "certify: ids echo verbatim")
+require(cold_doc["cached"] is False, "certify_cold: cached is false")
+require(warm_doc["cached"] is True, "certify_warm: cached is true")
+require(cold_body == warm_body,
+        "certify: cached result body is byte-identical")
+certificate = cold_doc["result"].get("certificate", {})
+for key in ("scheme", "kind", "bound", "rule", "claim"):
+    require(key in certificate, f"certify result certificate has '{key}'")
+
+lint_doc, _ = check_success(load("lint.json"), "lint", "lint")
+for key in ("kernel", "scheme", "severity", "clean", "worst",
+            "diagnostics"):
+    require(key in lint_doc["result"], f"lint result has '{key}'")
+
+replay_doc, _ = check_success(load("replay.json"), "replay", "replay")
+for key in ("trace_hash", "scheme", "width", "latency", "seed", "time",
+            "pipeline_slots", "dispatches", "max_congestion",
+            "avg_congestion"):
+    require(key in replay_doc["result"], f"replay result has '{key}'")
+
+advise_doc, _ = check_success(load("advise.json"), "advise", "advise")
+for key in ("scores", "recommended", "rationale"):
+    require(key in advise_doc["result"], f"advise result has '{key}'")
+require(len(advise_doc["result"]["scores"]) == 4,
+        "advise scores cover all four schemes")
+
+stats_doc, _ = check_success(load("stats.json"), "stats", "stats")
+stats = stats_doc["result"]
+for key in ("uptime_ms", "workers", "queue_depth", "queue_capacity",
+            "in_flight", "draining", "shed_total", "coalesced_total",
+            "cache", "metrics"):
+    require(key in stats, f"stats result has '{key}'")
+for key in ("hits", "misses", "insertions", "evictions", "entries",
+            "capacity"):
+    require(key in stats["cache"], f"stats cache has '{key}'")
+require(stats["cache"]["hits"] >= 1, "the warm certify registered a hit")
+
+def check_registry(registry, name):
+    counters = registry.get("counters", [])
+    requests = [c for c in counters if c["name"] == "serve.requests"]
+    require(requests, f"{name}: serve.requests counters present")
+    for counter in requests:
+        require({"method", "status"} <= set(counter["labels"]),
+                f"{name}: serve.requests labelled by method and status")
+    methods = {c["labels"]["method"] for c in requests
+               if c["labels"]["status"] == "ok"}
+    require({"certify", "lint", "replay", "advise"} <= methods,
+            f"{name}: every pool method counted ok, got {sorted(methods)}")
+    latency = [d for d in registry.get("distributions", [])
+               if d["name"] == "serve.latency_us"]
+    require(latency, f"{name}: serve.latency_us distributions present")
+    for dist in latency:
+        for key in ("count", "mean", "p50", "p95", "p99"):
+            require(key in dist, f"{name}: latency distribution has '{key}'")
+
+check_registry(stats["metrics"], "stats")
+
+error_doc = json.loads(load("error.json"))
+require(list(error_doc.keys()) == ["id", "ok", "method", "error"],
+        "error envelope members in order")
+require(error_doc["ok"] is False and error_doc["id"] == 1,
+        "error envelope echoes the integer id")
+error = error_doc["error"]
+require(error["code"] == 404 and error["name"] == "unknown_method",
+        "unknown method maps to 404 unknown_method")
+require(isinstance(error["message"], str) and error["message"],
+        "error message is a non-empty string")
+
+metrics_doc = json.loads(load("metrics.json"))
+require(metrics_doc.get("schema_version") == 1,
+        "metrics.json schema_version == 1")
+require(metrics_doc.get("experiment") == "rapsim_served",
+        "metrics.json experiment name")
+for key in ("uptime_ms", "workers", "queue_capacity", "shed_total",
+            "coalesced_total", "cache", "metrics"):
+    require(key in metrics_doc, f"metrics.json has '{key}'")
+check_registry(metrics_doc["metrics"], "metrics.json")
+
+print("serve schema OK: envelopes, cache byte-identity, error codes, "
+      "stats registry and the flushed metrics document all conform")
+EOF

@@ -63,6 +63,29 @@ REPLAY="$BUILD_DIR/tools/rapsim-replay"
 tools/check_replay_schema.sh "$REPLAY" \
   examples/contiguous_stride.trace examples/same_bank_adversary.trace
 
+echo "=== serve daemon drill -> results/serve/ ==="
+mkdir -p results/serve
+tools/serve_smoke.sh "$BUILD_DIR"/tools/rapsim-served \
+                     "$BUILD_DIR"/tools/rapsim-client
+tools/check_serve_schema.sh "$BUILD_DIR"/tools/rapsim-served \
+                            "$BUILD_DIR"/tools/rapsim-client || [ $? -eq 77 ]
+# One short-lived daemon run whose drained metrics land in the results
+# drop (the bench's stdout is already captured as
+# results/ext_serve_throughput.txt by the loop above).
+SERVE_SOCK="$(mktemp -u)"
+"$BUILD_DIR"/tools/rapsim-served --socket="$SERVE_SOCK" \
+  --metrics-out=results/serve/metrics.json > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+for scheme in raw ras rap pad; do
+  "$BUILD_DIR"/tools/rapsim-client certify --socket="$SERVE_SOCK" \
+    --addresses="0,32,64,96,128" --width=32 --scheme="$scheme" > /dev/null
+done
+"$BUILD_DIR"/tools/rapsim-client stats --socket="$SERVE_SOCK" \
+  > results/serve/stats.json
+"$BUILD_DIR"/tools/rapsim-client shutdown --socket="$SERVE_SOCK" > /dev/null
+wait "$SERVE_PID"
+
 echo "=== static lint reports -> results/analysis/ ==="
 mkdir -p results/analysis
 LINT="$BUILD_DIR/tools/rapsim-lint"
