@@ -18,24 +18,34 @@
 //
 // Part of tools/run_all.sh ("serve" section); stdout lands in
 // results/ext_serve_throughput.txt.
+//
+// With --bench-json=PATH: perf-trajectory mode — the cold / warm /
+// coalesce phases run once each (every phase is already thousands of
+// operations) and each becomes one BENCH metric via
+// perfbench::aggregate_latencies: ops_per_sec is true phase throughput,
+// ns_per_op / p50 / p95 / p99 are per-REQUEST latency.
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "perfbench/perfbench.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace rapsim;
-using Clock = std::chrono::steady_clock;
+// All timing goes through the shared perfbench steady clock — benches
+// must never mix clock sources.
+using Clock = perfbench::Clock;
 
 /// One certify request over a distinct stride pattern per identity slot.
 std::string certify_line(std::uint64_t identity_slot, std::uint32_t width) {
@@ -54,6 +64,8 @@ struct PhaseResult {
   double requests_per_second = 0.0;
   double mean_latency_us = 0.0;
   std::uint64_t errors = 0;
+  util::Tally latency_ns;       // per-request, merged over client threads
+  std::uint64_t wall_ns = 0;
 };
 
 /// Fire `total` requests from `clients` threads, request i drawing its
@@ -63,39 +75,43 @@ PhaseResult run_phase(serve::Service& service,
                       std::uint64_t total, std::uint64_t clients) {
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> errors{0};
-  std::atomic<std::uint64_t> latency_us_sum{0};
-  const Clock::time_point start = Clock::now();
+  std::mutex tally_mutex;
+  util::Tally latency_ns;
+  const perfbench::TimePoint start = perfbench::now();
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::uint64_t c = 0; c < clients; ++c) {
     threads.emplace_back([&] {
+      util::Tally local;  // merged once at exit, not per request
       for (;;) {
         const std::uint64_t i = next.fetch_add(1);
-        if (i >= total) return;
-        const Clock::time_point sent = Clock::now();
+        if (i >= total) break;
+        const perfbench::TimePoint sent = perfbench::now();
         const std::string response =
             service.handle_line(lines[i % lines.size()]);
-        latency_us_sum.fetch_add(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                Clock::now() - sent)
-                .count()));
+        local.add(perfbench::elapsed_ns(sent));
         if (response.find("\"ok\":true") == std::string::npos) {
           errors.fetch_add(1);
         }
       }
+      const std::lock_guard<std::mutex> lock(tally_mutex);
+      latency_ns.merge(local);
     });
   }
   for (std::thread& thread : threads) thread.join();
 
   PhaseResult result;
-  result.seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  result.wall_ns = perfbench::elapsed_ns(start);
+  result.seconds = static_cast<double>(result.wall_ns) / 1e9;
   result.requests_per_second =
       result.seconds > 0 ? static_cast<double>(total) / result.seconds : 0;
-  result.mean_latency_us =
-      static_cast<double>(latency_us_sum.load()) /
-      static_cast<double>(total ? total : 1);
+  util::OnlineStats mean;
+  for (const auto& [value, count] : latency_ns.histogram()) {
+    mean.add_repeated(static_cast<double>(value), count);
+  }
+  result.mean_latency_us = mean.mean() / 1000.0;
   result.errors = errors.load();
+  result.latency_ns = std::move(latency_ns);
   return result;
 }
 
@@ -119,6 +135,37 @@ int main(int argc, char** argv) {
   serve::ServiceConfig config;
   config.workers = static_cast<std::size_t>(args.get_uint("workers", 0));
   config.cache_capacity = static_cast<std::size_t>(unique * 2);
+
+  if (const auto bench_path = args.get("bench-json")) {
+    serve::Service service(config);
+    const PhaseResult cold = run_phase(service, lines, requests, clients);
+    const PhaseResult warm = run_phase(service, lines, requests, clients);
+    serve::Service single(config);
+    const std::vector<std::string> one = {certify_line(unique + 1, width)};
+    const PhaseResult coalesce =
+        run_phase(single, one, clients * 8, clients);
+    if (cold.errors + warm.errors + coalesce.errors > 0) {
+      std::cerr << "ext_serve_throughput: unexpected request failures\n";
+      return 1;
+    }
+
+    perfbench::BenchReport report("ext_serve_throughput");
+    report.set_config("requests", requests);
+    report.set_config("unique", unique);
+    report.set_config("clients", clients);
+    report.set_config("workers",
+                      static_cast<std::uint64_t>(service.worker_threads()));
+    report.set_config("width", width);
+    report.add("cold",
+               perfbench::aggregate_latencies(cold.latency_ns, cold.wall_ns));
+    report.add("warm",
+               perfbench::aggregate_latencies(warm.latency_ns, warm.wall_ns));
+    report.add("coalesce", perfbench::aggregate_latencies(
+                               coalesce.latency_ns, coalesce.wall_ns));
+    perfbench::write_bench_json(*bench_path, report);
+    std::printf("wrote %s\n", bench_path->c_str());
+    return 0;
+  }
 
   util::TextTable table;
   table.row()

@@ -461,7 +461,11 @@ CampaignReport run_campaign(const CampaignConfig& config) {
           (void)chunk;
           for (std::size_t j = begin; j < end; ++j) {
             const GridCell& g = grid[work[j]];
+            const std::uint64_t cell_span =
+                config.tracer ? config.tracer->begin("cell:" + g.key)
+                              : telemetry::kNoSpan;
             CellResult cell = run_cell(g.cell, g.trace->trace);
+            if (config.tracer) config.tracer->end(cell_span);
             write_file_atomic((cells_dir / (g.key + ".cell")).string(),
                               cell.to_cell_text());
             report.cells[work[j]] = std::move(cell);

@@ -36,6 +36,7 @@
 
 #include "core/mapping.hpp"
 #include "replay/trace.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "util/stats.hpp"
 
 namespace rapsim::replay {
@@ -55,6 +56,10 @@ struct CampaignConfig {
   /// Keep only traces whose header width is listed; empty = keep all.
   std::vector<std::uint32_t> widths;
   std::string results_dir = "results/replay";
+  /// Optional span tracer: each freshly computed cell records a
+  /// "cell:<key>" root span (cached cells record nothing — they do no
+  /// replay work). Never owned; must outlive run_campaign.
+  telemetry::SpanTracer* tracer = nullptr;
 };
 
 /// One (trace, scheme) grid cell. `width` duplicates the trace header's

@@ -144,12 +144,22 @@ ReplayResult replay_trace(const AccessTrace& trace,
         std::to_string(trace.header.memory_size));
   }
 
+  telemetry::SpanTracer* const tracer = options.tracer;
+  const std::uint64_t lower_span =
+      tracer ? tracer->begin("replay:lower", options.trace_parent)
+             : telemetry::kNoSpan;
   const dmm::Kernel kernel = lower_to_kernel(trace);
+  if (tracer) tracer->end(lower_span);
+
   dmm::DmmConfig config{trace.header.width, options.latency, options.kind};
   ReplayResult result;
   dmm::Dmm machine(config, map);
   machine.set_telemetry(&result.telemetry);
+  const std::uint64_t execute_span =
+      tracer ? tracer->begin("replay:execute", options.trace_parent)
+             : telemetry::kNoSpan;
   result.stats = machine.run(kernel, &result.dispatches);
+  if (tracer) tracer->end(execute_span);
   return result;
 }
 

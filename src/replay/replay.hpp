@@ -32,6 +32,7 @@
 #include "dmm/machine.hpp"
 #include "replay/trace.hpp"
 #include "telemetry/run_telemetry.hpp"
+#include "telemetry/span_tracer.hpp"
 
 namespace rapsim::replay {
 
@@ -69,6 +70,11 @@ class TraceCaptureSink final : public dmm::AccessCapture {
 struct ReplayOptions {
   std::uint32_t latency = 1;
   dmm::MachineKind kind = dmm::MachineKind::kDmm;
+  /// Optional span tracer: when set (and enabled), replay_trace records
+  /// "replay:lower" and "replay:execute" spans parented under
+  /// `trace_parent` (kNoSpan = they become roots). Never owned.
+  telemetry::SpanTracer* tracer = nullptr;
+  std::uint64_t trace_parent = telemetry::kNoSpan;
 };
 
 struct ReplayResult {

@@ -160,7 +160,7 @@ MethodCall prepare_certify(const JsonValue& params) {
                   '\n' + std::to_string(width) + '\n' +
                   std::to_string(memory) + '\n' + warps_canonical(warps);
   call.run = [scheme, width, memory,
-              warps = std::move(warps)](const CancelCheck&) {
+              warps = std::move(warps)](const ExecContext&) {
     const analyze::CongestionCertificate certificate =
         analyze::prove_worst_warp(warps, width, memory, scheme);
     telemetry::JsonWriter json;
@@ -193,7 +193,7 @@ MethodCall prepare_lint(const JsonValue& params) {
   MethodCall call;
   call.identity = std::string("lint\n") + core::scheme_name(scheme) + '\n' +
                   std::to_string(width) + '\n' + text;
-  call.run = [scheme, kernel = std::move(kernel)](const CancelCheck&) {
+  call.run = [scheme, kernel = std::move(kernel)](const ExecContext&) {
     return analyze::lint_report_json(analyze::lint_kernel(kernel, scheme));
   };
   return call;
@@ -241,17 +241,21 @@ MethodCall prepare_replay(const JsonValue& params) {
                   '\n' + std::to_string(latency) + '\n' +
                   (certify ? "certify" : "-");
   call.run = [scheme, seed, latency, certify, trace_hash,
-              trace = std::move(trace)](const CancelCheck& cancelled) {
+              trace = std::move(trace)](const ExecContext& ctx) {
     const std::uint32_t width = trace.header.width;
     const std::uint64_t rows =
         (trace.header.memory_size + width - 1) / width;
     const auto map = core::make_matrix_map(scheme, width, rows, seed);
-    if (cancelled()) {
+    if (ctx.cancelled()) {
       throw ServeError(ErrorCode::kDeadlineExceeded,
                        "cancelled before simulation");
     }
     replay::ReplayOptions options;
     options.latency = static_cast<std::uint32_t>(latency);
+    // Nest the replay engine's own spans (replay:lower, replay:execute)
+    // under the engine's execute:<method> span.
+    options.tracer = ctx.tracer;
+    options.trace_parent = ctx.span_parent;
     const replay::ReplayResult result =
         replay::replay_trace(trace, *map, options);
 
@@ -324,7 +328,7 @@ MethodCall prepare_advise(const JsonValue& params) {
     call.identity = std::string("advise\nkernel\n") + std::to_string(width) +
                     '\n' + std::to_string(draws) + '\n' +
                     std::to_string(seed) + '\n' + text;
-    call.run = [draws, seed, kernel = std::move(kernel)](const CancelCheck&) {
+    call.run = [draws, seed, kernel = std::move(kernel)](const ExecContext&) {
       const access::Advice advice = access::evaluate_kernel(
           kernel, static_cast<std::uint32_t>(draws), seed);
       telemetry::JsonWriter json;
@@ -350,7 +354,7 @@ MethodCall prepare_advise(const JsonValue& params) {
                   '\n' + std::to_string(seed) + '\n' +
                   warps_canonical(warps);
   call.run = [width, rows, draws, seed,
-              warps = std::move(warps)](const CancelCheck&) {
+              warps = std::move(warps)](const ExecContext&) {
     const access::Advice advice = access::evaluate_schemes(
         warps, width, rows, static_cast<std::uint32_t>(draws), seed);
     telemetry::JsonWriter json;

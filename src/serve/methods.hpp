@@ -33,6 +33,7 @@
 
 #include "serve/jsonvalue.hpp"
 #include "serve/protocol.hpp"
+#include "telemetry/span_tracer.hpp"
 
 namespace rapsim::serve {
 
@@ -40,9 +41,20 @@ namespace rapsim::serve {
 /// expired, or the service is force-stopping).
 using CancelCheck = std::function<bool()>;
 
+/// Everything the engine hands a handler at execution time. `cancelled`
+/// is always callable. `tracer`/`span_parent` let a handler nest its own
+/// phase spans under the engine's execute:<method> span — tracer is null
+/// (and span_parent kNoSpan) for untraced requests, and handlers MUST NOT
+/// let tracing influence the result body (purity licenses the cache).
+struct ExecContext {
+  CancelCheck cancelled;
+  telemetry::SpanTracer* tracer = nullptr;
+  std::uint64_t span_parent = telemetry::kNoSpan;
+};
+
 struct MethodCall {
   std::string identity;
-  std::function<std::string(const CancelCheck& cancelled)> run;
+  std::function<std::string(const ExecContext& ctx)> run;
 };
 
 /// Is `method` one of the worker-pool families prepare_method accepts?

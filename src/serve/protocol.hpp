@@ -80,6 +80,10 @@ struct Request {
   JsonValue params;                   // object or null
   std::uint64_t deadline_ms = 0;      // 0 = none
   std::uint64_t debug_hold_ms = 0;    // test hook, see header comment
+  /// NOT a wire field: the root span id the transport opened for this
+  /// request (telemetry::kNoSpan = untraced). The engine parents its
+  /// phase spans (admission, cache_lookup, queue_wait, execute) here.
+  std::uint64_t trace_parent = 0;
 };
 
 /// Parse + validate one request line (already stripped of its '\n').

@@ -1,13 +1,25 @@
 #include "serve/server.hpp"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <utility>
+
+#include "perfbench/clock.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 namespace rapsim::serve {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       service_(config_.service),
-      listener_(config_.endpoint) {}
+      listener_(config_.endpoint) {
+  if (!config_.trace_path.empty()) {
+    tracer_.enable();
+    service_.set_tracer(&tracer_);
+  }
+}
 
 Server::~Server() {
   request_stop();
@@ -84,7 +96,29 @@ int Server::run() {
   if (!config_.metrics_path.empty()) {
     service_.write_metrics(config_.metrics_path);
   }
+  if (!config_.trace_path.empty()) write_trace();
   return 0;
+}
+
+void Server::write_trace() {
+  const std::string document =
+      telemetry::spans_to_chrome_trace(tracer_.snapshot(), "rapsim-served");
+  const std::filesystem::path target(config_.trace_path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  const std::string tmp = config_.trace_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("serve: cannot write " + tmp);
+    out << document << '\n';
+    if (!out) throw std::runtime_error("serve: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), config_.trace_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("serve: cannot rename " + tmp + " to " +
+                             config_.trace_path);
+  }
 }
 
 void Server::connection_loop(Socket socket) {
@@ -98,8 +132,17 @@ void Server::connection_loop(Socket socket) {
     if (status == LineReader::Status::kClosed) return;
     if (status == LineReader::Status::kTimeout) continue;
     if (line.empty()) continue;  // tolerate blank keep-alive lines
-    const std::string response = service_.handle_line(line);
-    if (!write_all(socket, response + "\n")) return;
+    // The transport owns the root "request" span; the engine parents its
+    // phase spans under it and the write phase closes the flame.
+    const std::uint64_t root = tracer_.begin("request");
+    const std::string response = service_.handle_line(line, root);
+    const std::uint64_t write_span = tracer_.begin("write", root);
+    const perfbench::Clock::time_point write_start = perfbench::now();
+    const bool ok = write_all(socket, response + "\n");
+    service_.observe_phase("write", perfbench::elapsed_ns(write_start) / 1000);
+    tracer_.end(write_span);
+    tracer_.end(root);
+    if (!ok) return;
   }
 }
 

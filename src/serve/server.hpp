@@ -42,6 +42,12 @@ struct ServerConfig {
   Endpoint endpoint;
   ServiceConfig service;
   std::string metrics_path;        // empty = no flush on drain
+  /// Non-empty: enable request-scoped span tracing and write the
+  /// chrome://tracing document here on drain. Each request becomes a
+  /// root "request:<method>" span with the engine's phase spans
+  /// (admission, cache_lookup, queue_wait, execute:<method>) and the
+  /// transport's "write" span nested beneath it.
+  std::string trace_path;
   std::size_t max_connections = 256;
 };
 
@@ -68,14 +74,17 @@ class Server {
   void request_stop() noexcept;
 
   [[nodiscard]] Service& service() noexcept { return service_; }
+  [[nodiscard]] telemetry::SpanTracer& tracer() noexcept { return tracer_; }
 
  private:
   void connection_loop(Socket socket);
   void reap_finished_connections();
+  void write_trace();
 
   ServerConfig config_;
   Service service_;
   Listener listener_;
+  telemetry::SpanTracer tracer_;  // enabled iff config_.trace_path set
   std::atomic<bool> stop_{false};
 
   std::mutex connections_mutex_;

@@ -69,6 +69,11 @@ void Service::observe_latency(const std::string& method,
   metrics_.distribution("serve.latency_us", {{"method", method}}).observe(us);
 }
 
+void Service::observe_phase(const char* phase, std::uint64_t us) {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.distribution("serve.phase_us", {{"phase", phase}}).observe(us);
+}
+
 std::future<std::string> Service::submit(Request request) {
   const Clock::time_point submitted = Clock::now();
   std::optional<Clock::time_point> deadline;
@@ -120,34 +125,52 @@ std::future<std::string> Service::submit(Request request) {
     return future;
   }
 
+  // The root span the transport opened for this request (kNoSpan when
+  // the request is untraced or no tracer is attached).
+  telemetry::SpanTracer* const tracer = tracer_;
+  const std::uint64_t root =
+      tracer ? request.trace_parent : telemetry::kNoSpan;
+
   MethodCall call;
-  try {
-    call = prepare_method(method, request.params);
-  } catch (const ServeError& e) {
-    reply_error(e.code(), e.what());
-    return future;
-  } catch (const std::invalid_argument& e) {
-    reply_error(ErrorCode::kBadRequest, e.what());
-    return future;
-  } catch (const std::exception& e) {
-    reply_error(ErrorCode::kInternal, e.what());
-    return future;
+  {
+    const telemetry::ScopedSpan span(root ? tracer : nullptr, "admission",
+                                     root);
+    try {
+      call = prepare_method(method, request.params);
+    } catch (const ServeError& e) {
+      reply_error(e.code(), e.what());
+      return future;
+    } catch (const std::invalid_argument& e) {
+      reply_error(ErrorCode::kBadRequest, e.what());
+      return future;
+    } catch (const std::exception& e) {
+      reply_error(ErrorCode::kInternal, e.what());
+      return future;
+    }
+
+    if (deadline && Clock::now() >= *deadline) {
+      reply_error(ErrorCode::kDeadlineExceeded,
+                  "deadline elapsed before admission");
+      return future;
+    }
+    observe_phase("admission", elapsed_us_since(submitted));
   }
 
-  if (deadline && Clock::now() >= *deadline) {
-    reply_error(ErrorCode::kDeadlineExceeded,
-                "deadline elapsed before admission");
-    return future;
-  }
-
-  if (std::optional<std::string> body = cache_.lookup(call.identity)) {
-    promise.set_value(make_success_response(request, /*cached=*/true,
-                                            /*coalesced=*/false,
-                                            elapsed_us_since(submitted),
-                                            *body));
-    count_request(method, "ok");
-    observe_latency(method, submitted);
-    return future;
+  {
+    const Clock::time_point lookup_started = Clock::now();
+    const telemetry::ScopedSpan span(root ? tracer : nullptr,
+                                     "cache_lookup", root);
+    std::optional<std::string> body = cache_.lookup(call.identity);
+    observe_phase("cache_lookup", elapsed_us_since(lookup_started));
+    if (body) {
+      promise.set_value(make_success_response(request, /*cached=*/true,
+                                              /*coalesced=*/false,
+                                              elapsed_us_since(submitted),
+                                              *body));
+      count_request(method, "ok");
+      observe_latency(method, submitted);
+      return future;
+    }
   }
 
   Waiter waiter;
@@ -194,6 +217,9 @@ std::future<std::string> Service::submit(Request request) {
     flight->method = method;
     flight->debug_hold_ms = waiter.request.debug_hold_ms;
     flight->call = std::move(call);
+    flight->trace_parent = root;
+    flight->enqueued = Clock::now();
+    if (root) flight->queue_span = tracer->begin("queue_wait", root);
     flight->waiters.push_back(std::move(waiter));
     inflight_.emplace(flight->identity, flight);
     queue_.push_back(std::move(flight));
@@ -202,13 +228,15 @@ std::future<std::string> Service::submit(Request request) {
   return future;
 }
 
-std::string Service::handle_line(const std::string& line) {
+std::string Service::handle_line(const std::string& line,
+                                 std::uint64_t trace_parent) {
   Request request;
   try {
     request = parse_request(line);
   } catch (const ServeError& e) {
     return make_parse_error_response(e.code(), e.what());
   }
+  request.trace_parent = trace_parent;
   return submit(std::move(request)).get();
 }
 
@@ -253,6 +281,17 @@ void Service::fail_waiter(Waiter& waiter, const std::string& method,
 }
 
 void Service::execute(std::shared_ptr<Inflight> flight) {
+  // Phase accounting: the flight left the queue the moment a worker got
+  // here. Spans belong to the first waiter's trace (if any).
+  telemetry::SpanTracer* const tracer = tracer_;
+  if (tracer) tracer->end(flight->queue_span);
+  observe_phase("queue_wait", elapsed_us_since(flight->enqueued));
+  const std::uint64_t exec_span =
+      tracer && flight->trace_parent
+          ? tracer->begin("execute:" + flight->method, flight->trace_parent)
+          : telemetry::kNoSpan;
+  const Clock::time_point exec_started = Clock::now();
+
   // True when every waiter's deadline has lapsed (waiters may still be
   // attaching, hence the lock). A flight with any open-ended waiter is
   // never cancelled.
@@ -284,7 +323,11 @@ void Service::execute(std::shared_ptr<Inflight> flight) {
     message = "deadline elapsed before execution";
   } else {
     try {
-      body = flight->call.run(all_expired);
+      ExecContext ctx;
+      ctx.cancelled = all_expired;
+      ctx.tracer = exec_span != telemetry::kNoSpan ? tracer : nullptr;
+      ctx.span_parent = exec_span;
+      body = flight->call.run(ctx);
     } catch (const ServeError& e) {
       failed = true;
       code = e.code();
@@ -299,6 +342,9 @@ void Service::execute(std::shared_ptr<Inflight> flight) {
       message = e.what();
     }
   }
+
+  if (tracer) tracer->end(exec_span);
+  observe_phase("execute", elapsed_us_since(exec_started));
 
   if (!failed) {
     // Insert BEFORE detaching the in-flight entry: an identical request
@@ -353,6 +399,15 @@ void render_cache(telemetry::JsonWriter& json, const CacheStats& stats,
   json.kv("evictions", stats.evictions);
   json.kv("entries", stats.entries);
   json.kv("capacity", static_cast<std::uint64_t>(capacity));
+  const double lookups =
+      static_cast<double>(stats.hits) + static_cast<double>(stats.misses);
+  json.kv("hit_rate",
+          lookups > 0.0 ? static_cast<double>(stats.hits) / lookups : 0.0);
+  const double occupancy =
+      capacity > 0 ? static_cast<double>(stats.entries) /
+                         static_cast<double>(capacity)
+                   : 0.0;
+  json.kv("occupancy", occupancy);
   json.end_object();
 }
 
@@ -361,11 +416,13 @@ void render_cache(telemetry::JsonWriter& json, const CacheStats& stats,
 std::string Service::stats_body() {
   std::size_t queue_depth = 0;
   std::size_t in_flight = 0;
+  std::size_t busy_workers = 0;
   bool draining = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_depth = queue_.size();
     in_flight = inflight_.size();
+    busy_workers = executing_;
     draining = draining_;
   }
   const CacheStats cache_stats = cache_.stats();
@@ -376,6 +433,12 @@ std::string Service::stats_body() {
           static_cast<std::uint64_t>(
               duration_cast<milliseconds>(Clock::now() - started_).count()));
   json.kv("workers", static_cast<std::uint64_t>(config_.workers));
+  json.kv("busy_workers", static_cast<std::uint64_t>(busy_workers));
+  json.kv("utilization",
+          config_.workers > 0
+              ? static_cast<double>(busy_workers) /
+                    static_cast<double>(config_.workers)
+              : 0.0);
   json.kv("queue_depth", static_cast<std::uint64_t>(queue_depth));
   json.kv("queue_capacity", static_cast<std::uint64_t>(config_.queue_depth));
   json.kv("in_flight", static_cast<std::uint64_t>(in_flight));

@@ -30,6 +30,14 @@
 // (p50/p95/p99 for free), serve.shed_total, serve.coalesced_total, cache
 // counters — exported by the stats method and flushed to
 // results/serve/metrics.json on drain.
+//
+// Pool requests are additionally phase-attributed: the engine times
+// admission (validation), cache_lookup, queue_wait and execute, folding
+// each into the serve.phase_us{phase} distribution (the transport adds
+// the "write" phase via observe_phase). When a telemetry::SpanTracer is
+// attached (set_tracer) and the request carries a root span
+// (Request::trace_parent), the same phases are recorded as nested spans
+// so one request renders as a flame in chrome://tracing.
 
 #pragma once
 
@@ -50,6 +58,7 @@
 #include "serve/methods.hpp"
 #include "serve/protocol.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span_tracer.hpp"
 
 namespace rapsim::serve {
 
@@ -75,8 +84,27 @@ class Service {
   [[nodiscard]] std::future<std::string> submit(Request request);
 
   /// Parse + submit + wait: the whole request cycle for one line. Never
-  /// throws — malformed lines yield an error envelope.
-  [[nodiscard]] std::string handle_line(const std::string& line);
+  /// throws — malformed lines yield an error envelope. `trace_parent`
+  /// (when a tracer is attached) is the transport's root span for the
+  /// request; the engine nests its phase spans under it.
+  [[nodiscard]] std::string handle_line(
+      const std::string& line,
+      std::uint64_t trace_parent = telemetry::kNoSpan);
+
+  /// Attach (or detach, with nullptr) the span tracer. Call before
+  /// traffic; the engine never takes ownership. Zero overhead while the
+  /// tracer is disabled.
+  void set_tracer(telemetry::SpanTracer* tracer) noexcept {
+    tracer_ = tracer;
+  }
+  [[nodiscard]] telemetry::SpanTracer* tracer() const noexcept {
+    return tracer_;
+  }
+
+  /// Fold one request-phase duration into serve.phase_us{phase}. The
+  /// engine calls this for admission/cache_lookup/queue_wait/execute;
+  /// the socket transport adds "write".
+  void observe_phase(const char* phase, std::uint64_t us);
 
   /// Stop admitting, finish every queued and in-flight request, stop the
   /// workers. Idempotent; called by the destructor.
@@ -121,6 +149,11 @@ class Service {
     MethodCall call;
     std::uint64_t debug_hold_ms = 0;
     std::vector<Waiter> waiters;
+    /// Span/phase state for the FIRST waiter (the one that created the
+    /// flight); coalesced waiters share the computation, not the trace.
+    std::uint64_t trace_parent = telemetry::kNoSpan;
+    std::uint64_t queue_span = telemetry::kNoSpan;
+    Clock::time_point enqueued{};
   };
 
   void worker_loop();
@@ -136,6 +169,7 @@ class Service {
   ServiceConfig config_;
   ResponseCache cache_;
   Clock::time_point started_;
+  telemetry::SpanTracer* tracer_ = nullptr;  // set before traffic
 
   mutable std::mutex mutex_;  // queue + inflight map + lifecycle flags
   std::condition_variable work_cv_;

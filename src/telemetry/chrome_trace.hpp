@@ -18,8 +18,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "dmm/trace.hpp"
+#include "telemetry/span_tracer.hpp"
 
 namespace rapsim::telemetry {
 
@@ -33,5 +35,15 @@ struct ChromeTraceOptions {
 /// {"traceEvents":[...], "displayTimeUnit":"ms"}.
 [[nodiscard]] std::string to_chrome_trace(const dmm::Trace& trace,
                                           const ChromeTraceOptions& options = {});
+
+/// Render SpanTracer spans as a Trace Event Format document. Each span
+/// becomes a complete ("X") event with its id/parent in args; ts/dur are
+/// nanoseconds rendered as microseconds. Every span is re-homed onto
+/// the track (tid) of its ROOT span, so a request whose phases ran on a
+/// connection thread AND a pool worker still renders as one nested
+/// flame.
+[[nodiscard]] std::string spans_to_chrome_trace(
+    const std::vector<SpanRecord>& spans,
+    const std::string& process_name = "rapsim spans");
 
 }  // namespace rapsim::telemetry

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <functional>
 #include <future>
@@ -21,6 +23,7 @@
 #include "serve/jsonvalue.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "util/hash.hpp"
 
 namespace rapsim::serve {
@@ -448,6 +451,114 @@ TEST(Service, MetricsDocumentShape) {
   EXPECT_EQ(doc.find("experiment")->as_string(), "rapsim_served");
   ASSERT_NE(doc.find("cache"), nullptr);
   ASSERT_NE(doc.find("metrics"), nullptr);
+}
+
+// ------------------------------------- service: stats + span observability
+
+TEST(Service, StatsReportsTheCacheHitAndIsNeverCachedItself) {
+  Service service({.workers = 1});
+  const std::string request =
+      R"({"method":"certify","params":{"addresses":[0,1,2],"width":32}})";
+  (void)service.handle_line(request);
+  const std::string repeat = service.handle_line(request);
+  EXPECT_NE(repeat.find("\"cached\":true"), std::string::npos);
+
+  const auto snapshot = [&] {
+    return parse_json(result_suffix(service.handle_line(
+        R"({"method":"stats"})")));
+  };
+  const JsonValue stats = snapshot();
+  const JsonValue* cache = stats.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->find("hits")->as_integer(), 1);
+  EXPECT_GT(cache->find("hit_rate")->as_number(), 0.0);
+  EXPECT_LE(cache->find("hit_rate")->as_number(), 1.0);
+  EXPECT_GT(cache->find("occupancy")->as_number(), 0.0);
+  // The worker fulfils the caller's promise before clearing its busy
+  // flag, so a snapshot taken right after a reply may still see it
+  // counted — assert the pool invariant, not an exact idle count.
+  const std::int64_t busy = stats.find("busy_workers")->as_integer();
+  EXPECT_GE(busy, 0);
+  EXPECT_LE(busy, stats.find("workers")->as_integer());
+  const double utilization = stats.find("utilization")->as_number();
+  EXPECT_GE(utilization, 0.0);
+  EXPECT_LE(utilization, 1.0);
+
+  // stats is control-plane: answered inline, never from the cache — a
+  // second snapshot reflects the live registry (request counts grew),
+  // which a cached reply could not.
+  const std::string a = service.handle_line(R"({"method":"stats"})");
+  const std::string b = service.handle_line(R"({"method":"stats"})");
+  EXPECT_NE(a.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(b.find("\"cached\":false"), std::string::npos);
+}
+
+TEST(Service, PoolRequestRecordsPhaseDistributions) {
+  Service service({.workers = 1});
+  (void)service.handle_line(
+      R"({"method":"certify","params":{"addresses":[7,8],"width":32}})");
+  const std::string document = service.metrics_document();
+  for (const char* phase : {"admission", "cache_lookup", "queue_wait",
+                            "execute"}) {
+    EXPECT_NE(document.find(std::string("\"phase\":\"") + phase + "\""),
+              std::string::npos)
+        << "missing serve.phase_us{" << phase << "} in " << document;
+  }
+  EXPECT_NE(document.find("\"serve.phase_us\""), std::string::npos);
+}
+
+TEST(Service, TracedRequestNestsPhaseSpansUnderTheTransportRoot) {
+  telemetry::SpanTracer tracer;
+  tracer.enable();
+  Service service({.workers = 1});
+  service.set_tracer(&tracer);
+
+  const std::uint64_t root = tracer.begin("request");
+  (void)service.handle_line(
+      R"({"method":"replay","params":{"trace":)"
+      R"("rapsim-trace v1\nwidth 4\nthreads 4\nsize 16\n)"
+      R"(read 0 0 f 0 1 2 3\nend\n","scheme":"rap","seed":5}})",
+      root);
+  tracer.end(root);
+
+  const std::vector<telemetry::SpanRecord> spans = tracer.snapshot();
+  const auto find = [&](const std::string& name)
+      -> const telemetry::SpanRecord* {
+    for (const telemetry::SpanRecord& span : spans) {
+      if (span.name == name) return &span;
+    }
+    return nullptr;
+  };
+  const telemetry::SpanRecord* request = find("request");
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->parent, telemetry::kNoSpan);
+  for (const char* name :
+       {"admission", "cache_lookup", "queue_wait", "execute:replay"}) {
+    const telemetry::SpanRecord* span = find(name);
+    ASSERT_NE(span, nullptr) << "missing span " << name;
+    EXPECT_EQ(span->parent, request->id) << name;
+    EXPECT_GE(span->start_ns, request->start_ns) << name;
+    EXPECT_LE(span->end_ns, request->end_ns) << name;
+  }
+  // The handler's own spans nest one level deeper, under execute:replay.
+  const telemetry::SpanRecord* execute = find("execute:replay");
+  for (const char* name : {"replay:lower", "replay:execute"}) {
+    const telemetry::SpanRecord* span = find(name);
+    ASSERT_NE(span, nullptr) << "missing span " << name;
+    EXPECT_EQ(span->parent, execute->id) << name;
+  }
+  // >= 4 spans nested under the request root — the flame the chrome
+  // exporter renders.
+  std::size_t nested = 0;
+  for (const telemetry::SpanRecord& span : spans) {
+    if (span.parent == request->id) ++nested;
+  }
+  EXPECT_GE(nested, 4u);
+
+  // An untraced request on the same service records no new spans.
+  const std::size_t before = tracer.completed_count();
+  (void)service.handle_line(R"({"method":"ping"})");
+  EXPECT_EQ(tracer.completed_count(), before);
 }
 
 // -------------------------------------------------- client response parse

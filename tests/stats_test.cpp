@@ -125,8 +125,21 @@ TEST(Tally, PercentileSkewedMass) {
 }
 
 TEST(Tally, PercentileEmptyIsZero) {
+  // Pinned contract (the perfbench aggregator and the serve metrics
+  // exporter both rely on it): an empty tally yields 0 at EVERY
+  // percentile rather than UB or a throw.
   Tally t;
+  EXPECT_EQ(t.percentile(0.0), 0u);
   EXPECT_EQ(t.percentile(50.0), 0u);
+  EXPECT_EQ(t.percentile(95.0), 0u);
+  EXPECT_EQ(t.percentile(99.0), 0u);
+  EXPECT_EQ(t.percentile(100.0), 0u);
+  // And an empty tally merged into another adds nothing.
+  Tally other;
+  other.add(7);
+  other.merge(t);
+  EXPECT_EQ(other.count(), 1u);
+  EXPECT_EQ(other.percentile(50.0), 7u);
 }
 
 TEST(Tally, MergeAddsHistograms) {

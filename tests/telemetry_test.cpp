@@ -12,9 +12,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_telemetry.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "transpose/runner.hpp"
 
 namespace rapsim {
@@ -360,6 +363,119 @@ TEST(ChromeTrace, EmptyTraceIsStillValid) {
   const std::string json = telemetry::to_chrome_trace(dmm::Trace{});
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_EQ(json.find("\"cat\":\"dispatch\""), std::string::npos);
+}
+
+// --- span tracer -----------------------------------------------------------
+
+TEST(SpanTracer, DisabledRecordsNothing) {
+  telemetry::SpanTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.begin("phase"), telemetry::kNoSpan);
+  tracer.end(telemetry::kNoSpan);  // must be a harmless no-op
+  EXPECT_EQ(tracer.completed_count(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(SpanTracer, RecordsParentLinksAndOrderedTimestamps) {
+  telemetry::SpanTracer tracer;
+  tracer.enable();
+  const std::uint64_t root = tracer.begin("request");
+  const std::uint64_t child = tracer.begin("execute", root);
+  ASSERT_NE(root, telemetry::kNoSpan);
+  ASSERT_NE(child, telemetry::kNoSpan);
+  EXPECT_NE(root, child);
+  tracer.end(child);
+  tracer.end(root);
+
+  const std::vector<telemetry::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: the child closed first.
+  EXPECT_EQ(spans[0].name, "execute");
+  EXPECT_EQ(spans[0].parent, root);
+  EXPECT_EQ(spans[1].name, "request");
+  EXPECT_EQ(spans[1].parent, telemetry::kNoSpan);
+  for (const telemetry::SpanRecord& span : spans) {
+    EXPECT_LE(span.start_ns, span.end_ns);
+  }
+  EXPECT_GE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[0].end_ns, spans[1].end_ns);
+}
+
+TEST(SpanTracer, UnknownAndDoubleEndAreNoOps) {
+  telemetry::SpanTracer tracer;
+  tracer.enable();
+  tracer.end(12345);  // never begun
+  const std::uint64_t id = tracer.begin("once");
+  tracer.end(id);
+  tracer.end(id);  // already closed
+  EXPECT_EQ(tracer.completed_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.completed_count(), 0u);
+}
+
+TEST(SpanTracer, DisableMidRequestDropsTheOpenSpanQuietly) {
+  telemetry::SpanTracer tracer;
+  tracer.enable();
+  const std::uint64_t id = tracer.begin("inflight");
+  tracer.disable();
+  // The transport still calls end() on the id it was handed.
+  tracer.end(id);
+  EXPECT_EQ(tracer.begin("after"), telemetry::kNoSpan);
+}
+
+TEST(SpanTracer, ScopedSpanIsNullSafeAndBalances) {
+  {
+    telemetry::ScopedSpan null_span(nullptr, "nothing");
+    EXPECT_EQ(null_span.id(), telemetry::kNoSpan);
+  }
+  telemetry::SpanTracer tracer;
+  tracer.enable();
+  {
+    telemetry::ScopedSpan outer(&tracer, "outer");
+    telemetry::ScopedSpan inner(&tracer, "inner", outer.id());
+    EXPECT_NE(inner.id(), telemetry::kNoSpan);
+  }
+  const std::vector<telemetry::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+}
+
+TEST(SpanTracer, ChromeExportRehomesChildrenOntoTheRootTrack) {
+  telemetry::SpanTracer tracer;
+  tracer.enable();
+  const std::uint64_t root = tracer.begin("request");
+  const std::uint64_t exec = tracer.begin("execute", root);
+  std::thread worker([&] {
+    const std::uint64_t nested = tracer.begin("replay:lower", exec);
+    tracer.end(nested);
+  });
+  worker.join();
+  tracer.end(exec);
+  tracer.end(root);
+
+  const std::string json =
+      telemetry::spans_to_chrome_trace(tracer.snapshot(), "unit");
+  for (const char* key :
+       {"\"traceEvents\"", "\"process_name\"", "\"unit\"", "\"ph\":\"X\"",
+        "\"name\":\"request\"", "\"name\":\"execute\"",
+        "\"name\":\"replay:lower\"", "\"cat\":\"span\"", "\"span\":",
+        "\"parent\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Re-homing: the worker-thread span renders on the ROOT's track, so
+  // the whole request is one nested flame. With a single request the
+  // document therefore carries exactly one span track.
+  const std::string track = "\"tid\":0";
+  std::size_t occurrences = 0;
+  for (std::size_t at = json.find(track); at != std::string::npos;
+       at = json.find(track, at + 1)) {
+    ++occurrences;
+  }
+  // 3 X events + the thread_name metadata row for track 0.
+  EXPECT_GE(occurrences, 4u);
+  EXPECT_EQ(json.find("\"tid\":1,\"ts\""), std::string::npos);
 }
 
 }  // namespace

@@ -11,9 +11,14 @@
 #     integer, cached/coalesced booleans;
 #   - the repeated certify: cached=true and a byte-identical result body;
 #   - the error envelope: code/name/message, stable code<->name pairs;
-#   - the stats result: queue/cache counters and the metrics registry
-#     with serve.requests counters and serve.latency_us p50/p95/p99;
-#   - the flushed metrics.json: schema_version 1 and the same registry.
+#   - the stats result: queue/cache counters (including the derived
+#     hit_rate / occupancy / busy_workers / utilization gauges) and the
+#     metrics registry with serve.requests counters, serve.latency_us
+#     p50/p95/p99 and the serve.phase_us request-phase distributions;
+#   - the flushed metrics.json: schema_version 1 and the same registry;
+#   - the --trace-out chrome://tracing document: a JSON array of "X"
+#     events whose replay request nests admission/cache_lookup/
+#     queue_wait/execute:replay/write under one root request span.
 #
 # Registered as the ctest entry `serve_schema` with SKIP_RETURN_CODE 77
 # (skips without python3); also run standalone by tools/run_all.sh.
@@ -45,7 +50,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SERVED" --socket="$SOCK" --metrics-out="$METRICS" > "$WORK/served.log" &
+"$SERVED" --socket="$SOCK" --metrics-out="$METRICS" \
+    --trace-out="$WORK/spans.trace.json" > "$WORK/served.log" &
 DAEMON_PID=$!
 for _ in $(seq 1 100); do
   [ -S "$SOCK" ] && break
@@ -141,15 +147,28 @@ require(len(advise_doc["result"]["scores"]) == 4,
         "advise scores cover all four schemes")
 
 stats_doc, _ = check_success(load("stats.json"), "stats", "stats")
+require(stats_doc["cached"] is False,
+        "stats is control-plane: never served from the cache")
 stats = stats_doc["result"]
 for key in ("uptime_ms", "workers", "queue_depth", "queue_capacity",
-            "in_flight", "draining", "shed_total", "coalesced_total",
-            "cache", "metrics"):
+            "in_flight", "draining", "busy_workers", "utilization",
+            "shed_total", "coalesced_total", "cache", "metrics"):
     require(key in stats, f"stats result has '{key}'")
 for key in ("hits", "misses", "insertions", "evictions", "entries",
-            "capacity"):
+            "capacity", "hit_rate", "occupancy"):
     require(key in stats["cache"], f"stats cache has '{key}'")
 require(stats["cache"]["hits"] >= 1, "the warm certify registered a hit")
+cache = stats["cache"]
+require(0.0 < cache["hit_rate"] <= 1.0,
+        "hit_rate is a fraction in (0, 1] after the warm certify")
+expected_rate = cache["hits"] / (cache["hits"] + cache["misses"])
+require(abs(cache["hit_rate"] - expected_rate) < 1e-9,
+        "hit_rate == hits / (hits + misses)")
+require(0.0 <= cache["occupancy"] <= 1.0, "occupancy is a fraction")
+require(isinstance(stats["busy_workers"], int)
+        and 0 <= stats["busy_workers"] <= stats["workers"],
+        "busy_workers is an int within the pool size")
+require(0.0 <= stats["utilization"] <= 1.0, "utilization is a fraction")
 
 def check_registry(registry, name):
     counters = registry.get("counters", [])
@@ -168,6 +187,13 @@ def check_registry(registry, name):
     for dist in latency:
         for key in ("count", "mean", "p50", "p95", "p99"):
             require(key in dist, f"{name}: latency distribution has '{key}'")
+    phases = {d["labels"]["phase"]
+              for d in registry.get("distributions", [])
+              if d["name"] == "serve.phase_us"}
+    require({"admission", "cache_lookup", "queue_wait", "execute",
+             "write"} <= phases,
+            f"{name}: serve.phase_us covers every request phase, "
+            f"got {sorted(phases)}")
 
 check_registry(stats["metrics"], "stats")
 
@@ -192,6 +218,51 @@ for key in ("uptime_ms", "workers", "queue_capacity", "shed_total",
     require(key in metrics_doc, f"metrics.json has '{key}'")
 check_registry(metrics_doc["metrics"], "metrics.json")
 
+# --- the --trace-out chrome://tracing document -------------------------
+trace_doc = json.loads(load("spans.trace.json"))
+events = [e for e in trace_doc.get("traceEvents", []) if e.get("ph") == "X"]
+require(events, "trace-out document has complete ('X') span events")
+for event in events:
+    for key in ("name", "pid", "tid", "ts", "dur", "args"):
+        require(key in event, f"span event has '{key}'")
+
+by_id = {e["args"]["span"]: e for e in events}
+replay_exec = [e for e in events if e["name"] == "execute:replay"]
+require(replay_exec, "the replay request produced an execute:replay span")
+
+# Walk one replay request's flame: the execute span's root must be a
+# "request" span, and the request must also carry admission,
+# cache_lookup, queue_wait and write children — >= 4 nested spans.
+at = replay_exec[0]
+while at["args"]["parent"] != 0 and at["args"]["parent"] in by_id:
+    at = by_id[at["args"]["parent"]]
+require(at["name"] == "request",
+        f"execute:replay roots at a request span, got '{at['name']}'")
+root_id = at["args"]["span"]
+
+def roots_at(event):
+    seen = set()
+    while (event["args"]["parent"] != 0
+           and event["args"]["parent"] in by_id
+           and event["args"]["span"] not in seen):
+        seen.add(event["args"]["span"])
+        event = by_id[event["args"]["parent"]]
+    return event["args"]["span"]
+
+nested = {e["name"] for e in events
+          if e["args"]["span"] != root_id and roots_at(e) == root_id}
+require({"admission", "cache_lookup", "queue_wait", "execute:replay",
+         "write"} <= nested,
+        f"the replay request's flame nests every phase, got {sorted(nested)}")
+require(len(nested) >= 4, "the replay request renders >= 4 nested spans")
+
+# All of a request's spans land on ONE track (the root's), so the flame
+# renders as a single nested stack in Perfetto.
+tracks = {e["tid"] for e in events if roots_at(e) == root_id}
+require(len(tracks) == 1,
+        f"one request renders on one track, got tids {sorted(tracks)}")
+
 print("serve schema OK: envelopes, cache byte-identity, error codes, "
-      "stats registry and the flushed metrics document all conform")
+      "stats registry (phase distributions, utilization gauges), the "
+      "flushed metrics document and the span trace all conform")
 EOF

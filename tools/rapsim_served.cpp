@@ -18,6 +18,9 @@
 //   --cache-shards=N     cache shards (default 8)
 //   --metrics-out=PATH   metrics flush target on drain
 //                        (default results/serve/metrics.json; "" = none)
+//   --trace-out=PATH     record request-scoped spans and write a
+//                        chrome://tracing document here on drain
+//                        (default "" = tracing off)
 //   --max-connections=N  concurrent connection cap (default 256)
 //
 // Startup prints one machine-readable line on stdout:
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_uint("cache-shards", 8));
   config.metrics_path =
       args.get_string("metrics-out", "results/serve/metrics.json");
+  config.trace_path = args.get_string("trace-out", "");
   config.max_connections =
       static_cast<std::size_t>(args.get_uint("max-connections", 256));
 

@@ -69,12 +69,14 @@ tools/serve_smoke.sh "$BUILD_DIR"/tools/rapsim-served \
                      "$BUILD_DIR"/tools/rapsim-client
 tools/check_serve_schema.sh "$BUILD_DIR"/tools/rapsim-served \
                             "$BUILD_DIR"/tools/rapsim-client || [ $? -eq 77 ]
-# One short-lived daemon run whose drained metrics land in the results
-# drop (the bench's stdout is already captured as
-# results/ext_serve_throughput.txt by the loop above).
+# One short-lived daemon run whose drained metrics + span trace land in
+# the results drop (the bench's stdout is already captured as
+# results/ext_serve_throughput.txt by the loop above). Open the trace in
+# ui.perfetto.dev to see each request's phase flame.
 SERVE_SOCK="$(mktemp -u)"
 "$BUILD_DIR"/tools/rapsim-served --socket="$SERVE_SOCK" \
-  --metrics-out=results/serve/metrics.json > /dev/null &
+  --metrics-out=results/serve/metrics.json \
+  --trace-out=results/serve/spans.trace.json > /dev/null &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
 for scheme in raw ras rap pad; do
@@ -85,6 +87,33 @@ done
   > results/serve/stats.json
 "$BUILD_DIR"/tools/rapsim-client shutdown --socket="$SERVE_SOCK" > /dev/null
 wait "$SERVE_PID"
+
+echo "=== perf trajectory -> results/bench/ ==="
+mkdir -p results/bench
+# Fresh BENCH_*.json documents from every instrumented bench (the quick
+# protocol keeps this section to seconds; drop --quick for a real
+# measurement run). Compared against the committed baselines at the repo
+# root NON-fatally: a regression prints loudly but does not abort the
+# sweep — promote a fresh document to the root baseline when a slowdown
+# (or speedup) is intentional.
+"$BUILD_DIR"/bench/table2_congestion_sim \
+  --bench-json=results/bench/BENCH_table2.json --quick
+"$BUILD_DIR"/bench/theorem2_bound_sweep \
+  --bench-json=results/bench/BENCH_theorem2.json --quick
+"$BUILD_DIR"/bench/micro_mapping_overhead \
+  --bench-json=results/bench/BENCH_micro_mapping.json --quick
+"$BUILD_DIR"/bench/ext_trace_replay \
+  --bench-json=results/bench/BENCH_trace_replay.json --quick
+"$BUILD_DIR"/bench/ext_serve_throughput \
+  --bench-json=results/bench/BENCH_serve.json --quick
+tools/check_bench_schema.sh "$BUILD_DIR"/bench/theorem2_bound_sweep \
+  || [ $? -eq 77 ]
+COMPARE="$BUILD_DIR/tools/bench_compare"
+for baseline in BENCH_table2.json BENCH_serve.json; do
+  [ -f "$baseline" ] || continue
+  "$COMPARE" "$baseline" "results/bench/$baseline" \
+    || echo "bench_compare: $baseline moved past the threshold (see above)"
+done
 
 echo "=== static lint reports -> results/analysis/ ==="
 mkdir -p results/analysis
