@@ -1,6 +1,8 @@
 #include "analyze/lint.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 #include <sstream>
 
 #include "telemetry/json.hpp"
@@ -20,6 +22,17 @@ std::string format_bound(const CongestionCertificate& cert) {
   return out.str();
 }
 
+std::string format_bound_value(double bound) {
+  std::ostringstream out;
+  if (bound == static_cast<double>(static_cast<std::uint64_t>(bound))) {
+    out << static_cast<std::uint64_t>(bound);
+  } else {
+    out.precision(3);
+    out << bound;
+  }
+  return out.str();
+}
+
 std::string witness_string(const SiteAnalysis& analysis) {
   std::ostringstream out;
   for (std::size_t v = 0; v < analysis.witness.size(); ++v) {
@@ -30,28 +43,35 @@ std::string witness_string(const SiteAnalysis& analysis) {
 }
 
 /// Propose a scheme change if it provably lowers this site's bound.
-void try_scheme_fixit(const KernelDesc& kernel, const AccessSite& site,
-                      const SiteAnalysis& current, core::Scheme candidate,
-                      const std::string& action,
-                      std::vector<FixIt>& fixits) {
+/// Returns the repaired bound when a fix-it was added.
+std::optional<double> try_scheme_fixit(const KernelDesc& kernel,
+                                       const AccessSite& site,
+                                       const SiteAnalysis& current,
+                                       core::Scheme candidate,
+                                       const std::string& action,
+                                       std::vector<FixIt>& fixits) {
   const SiteAnalysis repaired = analyze_site(kernel, site, candidate);
   if (repaired.out_of_bounds || repaired.cert.bound >= current.cert.bound) {
-    return;
+    return std::nullopt;
   }
   std::ostringstream detail;
   detail << "worst-warp congestion drops from " << format_bound(current.cert)
          << " to " << format_bound(repaired.cert) << " (rule "
          << repaired.cert.rule << ")";
   fixits.push_back({action, detail.str()});
+  return repaired.cert.bound;
 }
 
 /// Propose swapping the lane with a loop variable (the "transpose the
 /// traversal" repair) when re-analysis proves it helps. Flat sites only:
-/// the swap is a syntactic exchange of coefficients.
-void try_swap_fixit(const KernelDesc& kernel, const AccessSite& site,
-                    const SiteAnalysis& current, core::Scheme scheme,
-                    std::vector<FixIt>& fixits) {
-  if (site.form != IndexForm::kFlat) return;
+/// the swap is a syntactic exchange of coefficients. Returns the
+/// repaired bound when a fix-it was added.
+std::optional<double> try_swap_fixit(const KernelDesc& kernel,
+                                     const AccessSite& site,
+                                     const SiteAnalysis& current,
+                                     core::Scheme scheme,
+                                     std::vector<FixIt>& fixits) {
+  if (site.form != IndexForm::kFlat) return std::nullopt;
   for (std::size_t v = 0; v < kernel.vars.size(); ++v) {
     if (site.flat.coeff(v) == site.flat.lane_coeff) continue;
     if (kernel.vars[v].count < kernel.width) continue;  // not a full swap
@@ -73,8 +93,39 @@ void try_swap_fixit(const KernelDesc& kernel, const AccessSite& site,
            << format_bound(repaired.cert) << " (rule " << repaired.cert.rule
            << ")";
     fixits.push_back({"swap loop order", detail.str()});
-    return;  // one swap suggestion is enough
+    return repaired.cert.bound;  // one swap suggestion is enough
   }
+  return std::nullopt;
+}
+
+/// Propose the synthesized mapping when its certified per-site bound
+/// beats the current one, quantifying the edge over the best fixed
+/// fix-it (the ones above re-analyze under a FIXED scheme; synthesis
+/// searched the whole permute-shift family).
+void try_synth_fixit(const SynthesisResult& synthesis, std::size_t site_index,
+                     const SiteAnalysis& current, double best_fixed,
+                     std::vector<FixIt>& fixits) {
+  if (site_index >= synthesis.site_bounds.size()) return;
+  const double bound = synthesis.site_bounds[site_index];
+  if (bound >= current.cert.bound) return;
+  std::ostringstream detail;
+  detail << "apply synthesized mapping " << synthesis.mapping.spec()
+         << ": worst-warp congestion drops from "
+         << format_bound(current.cert) << " to "
+         << format_bound_value(bound) << " (rule "
+         << synthesis.certificate.rule << "; witness "
+         << witness_kind_name(synthesis.witness.kind) << "/"
+         << synthesis.witness.reason << "); ";
+  if (best_fixed == std::numeric_limits<double>::infinity()) {
+    detail << "no fixed fix-it applies";
+  } else if (bound < best_fixed) {
+    detail << "beats the best fixed fix-it (" << format_bound_value(best_fixed)
+           << ") by " << format_bound_value(best_fixed - bound);
+  } else {
+    detail << "matches the best fixed fix-it ("
+           << format_bound_value(best_fixed) << ") with a certified witness";
+  }
+  fixits.push_back({"SYNTHESIZE", detail.str()});
 }
 
 }  // namespace
@@ -103,6 +154,11 @@ Severity LintReport::severity() const noexcept {
 }
 
 LintReport lint_kernel(const KernelDesc& kernel, core::Scheme scheme) {
+  return lint_kernel(kernel, scheme, LintOptions{});
+}
+
+LintReport lint_kernel(const KernelDesc& kernel, core::Scheme scheme,
+                       const LintOptions& options) {
   const KernelAnalysis analysis = analyze_kernel(kernel, scheme);
 
   LintReport report;
@@ -112,6 +168,11 @@ LintReport lint_kernel(const KernelDesc& kernel, core::Scheme scheme) {
   report.scheme = scheme;
   report.worst = analysis.worst;
   report.worst_site = analysis.worst_site;
+
+  if (options.synthesize && !analysis.any_out_of_bounds &&
+      !kernel.sites.empty() && kernel.width <= 64) {
+    report.synthesis = synthesize_mapping(kernel, options.synth);
+  }
 
   for (std::size_t s = 0; s < analysis.sites.size(); ++s) {
     const SiteAnalysis& sa = analysis.sites[s];
@@ -133,11 +194,18 @@ LintReport lint_kernel(const KernelDesc& kernel, core::Scheme scheme) {
               << static_cast<std::uint64_t>(sa.cert.bound)
               << "-way on a bank every run (rule " << sa.cert.rule
               << "; witness " << witness_string(sa) << ")";
-      try_scheme_fixit(kernel, site, sa, core::Scheme::kPad, "apply PAD(+1)",
-                       diag.fixits);
-      try_scheme_fixit(kernel, site, sa, core::Scheme::kRap, "apply RAP",
-                       diag.fixits);
-      try_swap_fixit(kernel, site, sa, scheme, diag.fixits);
+      double best_fixed = std::numeric_limits<double>::infinity();
+      const auto note = [&best_fixed](std::optional<double> repaired) {
+        if (repaired) best_fixed = std::min(best_fixed, *repaired);
+      };
+      note(try_scheme_fixit(kernel, site, sa, core::Scheme::kPad,
+                            "apply PAD(+1)", diag.fixits));
+      note(try_scheme_fixit(kernel, site, sa, core::Scheme::kRap,
+                            "apply RAP", diag.fixits));
+      note(try_swap_fixit(kernel, site, sa, scheme, diag.fixits));
+      if (report.synthesis) {
+        try_synth_fixit(*report.synthesis, s, sa, best_fixed, diag.fixits);
+      }
     } else if (sa.cert.exact()) {
       message << "conflict-free: worst-warp congestion 1 over all "
               << sa.binding_count << " bindings (rule " << sa.cert.rule
@@ -204,6 +272,10 @@ std::string lint_report_json(const LintReport& report) {
     json.end_object();
   }
   json.end_array();
+  if (report.synthesis) {
+    json.key("synthesis");
+    json.raw_value(report.synthesis->to_json());
+  }
   json.end_object();
   return json.str();
 }
@@ -222,6 +294,19 @@ std::string lint_report_text(const LintReport& report) {
       out << "      fix-it: " << fixit.action << " — " << fixit.detail
           << "\n";
     }
+  }
+  if (report.synthesis) {
+    const SynthesisResult& synth = *report.synthesis;
+    out << "  synthesized: " << synth.mapping.spec() << "\n"
+        << "      certified bound " << format_bound(synth.certificate)
+        << " (rule " << synth.certificate.rule << "), witness "
+        << witness_kind_name(synth.witness.kind) << "/"
+        << synth.witness.reason << " (lower bound "
+        << format_bound_value(synth.witness.lower_bound) << "): "
+        << synth.witness.detail << "\n"
+        << "      searched " << synth.candidates << " candidates over "
+        << synth.classes << " congestion classes (baseline RAW bound "
+        << format_bound_value(synth.baseline_bound) << ")\n";
   }
   return out.str();
 }

@@ -28,14 +28,29 @@
 // rapsim-lint CLI (tools/rapsim_lint.cpp) drives this over the built-in
 // kernel catalog and user kernels in the text format.
 
+//
+// With LintOptions::synthesize set, lint additionally runs the layout
+// synthesizer (analyze/synth.hpp) and attaches a fourth repair:
+//
+//   "SYNTHESIZE"        apply the synthesized permute-shift mapping —
+//                       suggested when its certified per-site bound beats
+//                       the current one; the detail cites the certificate
+//                       rule, the optimality witness, and quantifies the
+//                       improvement over the best fixed fix-it above
+//
+// and the full SynthesisResult rides on the report (JSON: a "synthesis"
+// block after the diagnostics).
+
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analyze/kernelir.hpp"
 #include "analyze/passes.hpp"
+#include "analyze/synth.hpp"
 
 namespace rapsim::analyze {
 
@@ -68,6 +83,9 @@ struct LintReport {
   std::vector<Diagnostic> diagnostics;  // aligned with KernelDesc::sites
   CongestionCertificate worst;          // whole-kernel worst-site claim
   std::size_t worst_site = 0;
+  /// Present when lint ran with LintOptions::synthesize (and the kernel
+  /// was synthesizable — in bounds, width <= 64).
+  std::optional<SynthesisResult> synthesis;
 
   /// No warnings and no errors: the kernel is certified conflict-free
   /// (or covered by an expected-value envelope) under its scheme.
@@ -76,11 +94,25 @@ struct LintReport {
   [[nodiscard]] Severity severity() const noexcept;
 };
 
+struct LintOptions {
+  /// Run the layout synthesizer and attach SYNTHESIZE fix-its + the
+  /// SynthesisResult to the report.
+  bool synthesize = false;
+  SynthesisOptions synth;
+};
+
 /// Lint a kernel as running under `scheme`. Throws std::invalid_argument
 /// on an invalid kernel or unsupported scheme (same contract as
 /// analyze_kernel).
 [[nodiscard]] LintReport lint_kernel(const KernelDesc& kernel,
                                      core::Scheme scheme = core::Scheme::kRaw);
+
+/// As above, with options. Synthesis is skipped (report.synthesis stays
+/// empty) when the kernel is not synthesizable: out-of-bounds accesses,
+/// no sites, or width > 64.
+[[nodiscard]] LintReport lint_kernel(const KernelDesc& kernel,
+                                     core::Scheme scheme,
+                                     const LintOptions& options);
 
 /// JSON document (schema: tools/check_lint_schema.sh / DESIGN.md).
 [[nodiscard]] std::string lint_report_json(const LintReport& report);

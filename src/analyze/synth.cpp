@@ -1,0 +1,1126 @@
+#include "analyze/synth.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/permutation.hpp"
+#include "telemetry/json.hpp"
+#include "util/rng.hpp"
+
+namespace rapsim::analyze {
+
+namespace {
+
+// Opaque sites enumerate bindings up to this cap before falling back to
+// a deterministic stratified sample (a synth-local, more generous twin
+// of passes.hpp's kEnumerationCap — the search amortizes one closure
+// over hundreds of candidate evaluations, so it can afford more).
+constexpr std::uint64_t kSynthEnumCap = 1u << 16;
+
+std::uint64_t mod_pos(std::int64_t value, std::uint64_t modulus) {
+  const auto m = static_cast<std::int64_t>(modulus);
+  return static_cast<std::uint64_t>(((value % m) + m) % m);
+}
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    a %= b;
+    std::swap(a, b);
+  }
+  return a;
+}
+
+std::uint64_t lcm_capped(std::uint64_t a, std::uint64_t b,
+                         std::uint64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  const std::uint64_t g = gcd_u64(a, b);
+  const std::uint64_t l = (a / g) * b;  // both <= cap, no overflow risk here
+  return std::min(l, cap);
+}
+
+/// One constraint entry: the (column, key digits) of one memory request.
+/// Byte-packed (width <= 64, so every field fits a byte); equal packings
+/// collide under EVERY family member.
+using PackedEntry = std::uint32_t;
+
+PackedEntry pack_entry(std::uint64_t addr, std::uint32_t width,
+                       std::uint32_t digits) {
+  const std::uint64_t w = width;
+  PackedEntry packed = static_cast<PackedEntry>(addr % w);
+  std::uint64_t row = addr / w;
+  for (std::uint32_t d = 0; d < digits; ++d) {
+    packed |= static_cast<PackedEntry>((row % w)) << (8u * (d + 1));
+    row /= w;
+  }
+  return packed;
+}
+
+std::uint32_t entry_col(PackedEntry e) { return e & 0xffu; }
+std::uint32_t entry_key(PackedEntry e, std::uint32_t d) {
+  return (e >> (8u * (d + 1))) & 0xffu;
+}
+
+/// One stored (non-trivial, deduplicated) congestion class.
+struct StoredClass {
+  std::vector<PackedEntry> entries;   // one per request; duplicates kept
+  std::vector<std::uint32_t> sites;   // site indices sharing this class
+  std::size_t first_site = 0;         // witness site
+  std::vector<std::uint64_t> binding; // witness binding (first site's)
+};
+
+/// Classes whose congestion is the same under every family member
+/// (all key tuples equal => the bank is an injective function of the
+/// column) collapse to a per-site constant.
+struct ConstClass {
+  double value = 1.0;
+  std::size_t site = 0;
+  std::vector<std::uint64_t> binding;
+};
+
+struct Closure {
+  std::uint32_t width = 0;
+  std::uint32_t digits = 1;
+  std::vector<StoredClass> classes;
+  std::vector<double> const_floor_per_site;  // aligned with kernel sites
+  ConstClass worst_const;                    // the class attaining it
+  double const_floor = 1.0;                  // max over sites
+  double family_floor = 1.0;  // identical (col, keys) multiplicity
+  double atomic_floor = 1.0;  // same-address atomic multiplicity
+  Coverage coverage = Coverage::kSymbolic;
+  std::uint64_t classes_seen = 0;  // before dedupe / trivial filtering
+};
+
+/// Deterministic stratified sample of a loop variable: up to `quota`
+/// values including both endpoints.
+std::vector<std::uint64_t> sample_var(std::uint64_t count,
+                                      std::uint64_t quota) {
+  std::vector<std::uint64_t> values;
+  if (count <= quota) {
+    values.resize(count);
+    std::iota(values.begin(), values.end(), 0u);
+    return values;
+  }
+  values.reserve(quota);
+  for (std::uint64_t i = 0; i < quota; ++i) {
+    values.push_back(i * (count - 1) / (quota - 1));
+  }
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+class ClosureBuilder {
+ public:
+  ClosureBuilder(const KernelDesc& kernel, std::uint32_t digits,
+                 std::uint64_t class_cap)
+      : kernel_(kernel), digits_(digits), class_cap_(class_cap) {
+    closure_.width = kernel.width;
+    closure_.digits = digits;
+    closure_.const_floor_per_site.assign(kernel.sites.size(), 1.0);
+  }
+
+  Closure build() {
+    for (std::size_t s = 0; s < kernel_.sites.size(); ++s) {
+      const AccessSite& site = kernel_.sites[s];
+      switch (site.form) {
+        case IndexForm::kFlat:
+        case IndexForm::kRowCol:
+          add_affine_site(s, site);
+          break;
+        case IndexForm::kOpaque:
+          add_opaque_site(s, site);
+          break;
+      }
+    }
+    return std::move(closure_);
+  }
+
+ private:
+  /// Close the site's class keys over all bindings by a sparse sumset DP
+  /// and record one representative binding per class. The key is
+  ///   kFlat:   flat value mod w^(digits+1)
+  ///   kRowCol: (row expr mod P) * w + (col expr mod w), where P is the
+  ///            wrap modulus (row_mod) or w^digits when unwrapped —
+  /// in both cases two bindings with equal keys produce warp traces with
+  /// identical (col, key-digit) entries AND an identical within-warp
+  /// address-equality pattern (lane differences are binding-independent),
+  /// so they are congestion-equivalent under every family member.
+  void add_affine_site(std::size_t site_index, const AccessSite& site) {
+    const std::uint64_t w = kernel_.width;
+    std::uint64_t period_pow = w;  // w^digits
+    for (std::uint32_t d = 1; d < digits_; ++d) period_pow *= w;
+
+    std::uint64_t ma = 0;  // modulus of the first key component
+    std::uint64_t mb = 1;  // modulus of the second (rowcol col)
+    std::int64_t base_a = 0;
+    std::int64_t base_b = 0;
+    std::vector<std::int64_t> coeff_a(kernel_.vars.size(), 0);
+    std::vector<std::int64_t> coeff_b(kernel_.vars.size(), 0);
+    if (site.form == IndexForm::kFlat) {
+      ma = period_pow * w;  // w^(digits+1)
+      base_a = site.flat.base;
+      for (std::size_t v = 0; v < kernel_.vars.size(); ++v) {
+        coeff_a[v] = site.flat.coeff(v);
+      }
+    } else {
+      ma = site.row_mod != 0 ? site.row_mod : period_pow;
+      mb = w;
+      base_a = site.row.base;
+      base_b = site.col.base;
+      for (std::size_t v = 0; v < kernel_.vars.size(); ++v) {
+        coeff_a[v] = site.row.coeff(v);
+        coeff_b[v] = site.col.coeff(v);
+      }
+    }
+
+    // state key = (a mod ma) * mb + (b mod mb)
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> states;
+    states.reserve(256);
+    states.emplace(mod_pos(base_a, ma) * mb + mod_pos(base_b, mb),
+                   std::vector<std::uint64_t>(kernel_.vars.size(), 0));
+    bool truncated = false;
+    for (std::size_t v = 0; v < kernel_.vars.size() && !truncated; ++v) {
+      const std::uint64_t ca = mod_pos(coeff_a[v], ma);
+      const std::uint64_t cb = mod_pos(coeff_b[v], mb);
+      if (ca == 0 && cb == 0) continue;
+      // Orbit length of (ca, cb) in Z_ma x Z_mb.
+      const std::uint64_t la = ca == 0 ? 1 : ma / gcd_u64(ca, ma);
+      const std::uint64_t lb = cb == 0 ? 1 : mb / gcd_u64(cb, mb);
+      const std::uint64_t steps =
+          std::min<std::uint64_t>(kernel_.vars[v].count,
+                                  lcm_capped(la, lb, ma * mb));
+      std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> next;
+      next.reserve(states.size() * static_cast<std::size_t>(
+                                       std::min<std::uint64_t>(steps, 64)));
+      for (const auto& [key, binding] : states) {
+        std::uint64_t ra = key / mb;
+        std::uint64_t rb = key % mb;
+        for (std::uint64_t i = 0; i < steps; ++i) {
+          const std::uint64_t k = ra * mb + rb;
+          auto it = next.find(k);
+          if (it == next.end()) {
+            std::vector<std::uint64_t> witness = binding;
+            witness[v] = i;
+            next.emplace(k, std::move(witness));
+            if (next.size() > class_cap_) {
+              truncated = true;
+              break;
+            }
+          }
+          ra = (ra + ca) % ma;
+          rb = (rb + cb) % mb;
+        }
+        if (truncated) break;
+      }
+      states = std::move(next);
+    }
+    if (truncated) closure_.coverage = Coverage::kSampled;
+
+    for (const auto& [key, binding] : states) {
+      ingest_trace(site_index, site,
+                   materialize_site(kernel_, site, binding), binding);
+    }
+  }
+
+  void add_opaque_site(std::size_t site_index, const AccessSite& site) {
+    const std::uint64_t bindings = kernel_.binding_count();
+    std::vector<std::vector<std::uint64_t>> per_var;
+    per_var.reserve(kernel_.vars.size());
+    if (bindings <= kSynthEnumCap) {
+      for (const LoopVar& var : kernel_.vars) {
+        per_var.push_back(sample_var(var.count, var.count));
+      }
+      if (closure_.coverage == Coverage::kSymbolic) {
+        closure_.coverage = Coverage::kEnumerated;
+      }
+    } else {
+      // Shrink the largest quotas until the product fits the cap.
+      std::vector<std::uint64_t> quota;
+      quota.reserve(kernel_.vars.size());
+      for (const LoopVar& var : kernel_.vars) quota.push_back(var.count);
+      auto product = [&] {
+        std::uint64_t p = 1;
+        for (const std::uint64_t q : quota) {
+          if (q != 0 && p > kSynthEnumCap / q) return kSynthEnumCap + 1;
+          p *= q;
+        }
+        return p;
+      };
+      while (product() > kSynthEnumCap) {
+        const auto it = std::max_element(quota.begin(), quota.end());
+        *it = std::max<std::uint64_t>(1, *it / 2);
+      }
+      for (std::size_t v = 0; v < kernel_.vars.size(); ++v) {
+        per_var.push_back(sample_var(kernel_.vars[v].count, quota[v]));
+      }
+      closure_.coverage = Coverage::kSampled;
+    }
+
+    std::vector<std::uint64_t> binding(kernel_.vars.size(), 0);
+    std::vector<std::size_t> index(kernel_.vars.size(), 0);
+    for (;;) {
+      for (std::size_t v = 0; v < kernel_.vars.size(); ++v) {
+        binding[v] = per_var[v][index[v]];
+      }
+      ingest_trace(site_index, site,
+                   materialize_site(kernel_, site, binding), binding);
+      std::size_t v = 0;
+      for (; v < index.size(); ++v) {
+        if (++index[v] < per_var[v].size()) break;
+        index[v] = 0;
+      }
+      if (v == index.size()) break;
+    }
+  }
+
+  /// Reduce one warp trace to entries, fold floors, filter trivial
+  /// classes and dedupe the rest by their (rotate-, xor-) normal forms.
+  void ingest_trace(std::size_t site_index, const AccessSite& site,
+                    const std::vector<std::int64_t>& raw_trace,
+                    const std::vector<std::uint64_t>& binding) {
+    ++closure_.classes_seen;
+    // The kernel was proven in-bounds before synthesis started.
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(raw_trace.size());
+    for (const std::int64_t a : raw_trace) {
+      addrs.push_back(static_cast<std::uint64_t>(a));
+    }
+    std::sort(addrs.begin(), addrs.end());
+
+    std::vector<PackedEntry> entries;
+    entries.reserve(addrs.size());
+    const bool atomic = site.dir == AccessDir::kAtomic;
+    std::size_t i = 0;
+    while (i < addrs.size()) {
+      std::size_t j = i;
+      while (j < addrs.size() && addrs[j] == addrs[i]) ++j;
+      const std::size_t multiplicity = j - i;
+      const PackedEntry packed =
+          pack_entry(addrs[i], kernel_.width, digits_);
+      if (atomic) {
+        // Same-address atomics serialize under EVERY bijection.
+        closure_.atomic_floor = std::max(
+            closure_.atomic_floor, static_cast<double>(multiplicity));
+        for (std::size_t k = 0; k < multiplicity; ++k) {
+          entries.push_back(packed);
+        }
+      } else {
+        entries.push_back(packed);  // CRCW merge: one request per address
+      }
+      i = j;
+    }
+    std::sort(entries.begin(), entries.end());
+
+    // Identical (col, keys) packings collide under every family member.
+    std::size_t max_same = 1;
+    bool keys_all_equal = true;
+    const PackedEntry key0 = entries.empty() ? 0 : entries[0] & ~0xffu;
+    std::size_t run = 1;
+    for (std::size_t k = 1; k < entries.size(); ++k) {
+      run = entries[k] == entries[k - 1] ? run + 1 : 1;
+      max_same = std::max(max_same, run);
+      if ((entries[k] & ~0xffu) != key0) keys_all_equal = false;
+    }
+    closure_.family_floor =
+        std::max(closure_.family_floor, static_cast<double>(max_same));
+
+    if (keys_all_equal) {
+      // Bank is injective in the column: congestion is the constant
+      // max_same for every member. Fold and drop.
+      const auto value = static_cast<double>(max_same);
+      auto& floor = closure_.const_floor_per_site[site_index];
+      floor = std::max(floor, value);
+      if (value > closure_.const_floor) {
+        closure_.const_floor = value;
+        closure_.worst_const = {value, site_index, binding};
+      }
+      return;
+    }
+
+    const std::string norm = normal_forms(entries);
+    const auto it = dedupe_.find(norm);
+    if (it != dedupe_.end()) {
+      StoredClass& cls = closure_.classes[it->second];
+      const auto s32 = static_cast<std::uint32_t>(site_index);
+      if (std::find(cls.sites.begin(), cls.sites.end(), s32) ==
+          cls.sites.end()) {
+        cls.sites.push_back(s32);
+      }
+      return;
+    }
+    StoredClass cls;
+    cls.entries = entries;
+    cls.sites.push_back(static_cast<std::uint32_t>(site_index));
+    cls.first_site = site_index;
+    cls.binding = binding;
+    dedupe_.emplace(norm, closure_.classes.size());
+    closure_.classes.push_back(std::move(cls));
+  }
+
+  /// Concatenated rotate- and xor-normal forms. Shifting (or xoring)
+  /// every column by a constant permutes banks, so two classes whose
+  /// BOTH normal forms agree are congestion-equivalent under every
+  /// rotate member and every xor member respectively.
+  std::string normal_forms(const std::vector<PackedEntry>& entries) const {
+    const std::uint32_t w = kernel_.width;
+    const std::uint32_t c = entries.empty() ? 0 : entry_col(entries[0]);
+    std::vector<PackedEntry> rot(entries.size());
+    std::vector<PackedEntry> xored(entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      const PackedEntry keys = entries[k] & ~0xffu;
+      rot[k] = keys | ((entry_col(entries[k]) + w - c) % w);
+      xored[k] = keys | ((entry_col(entries[k]) ^ c) % w);
+    }
+    std::sort(rot.begin(), rot.end());
+    std::sort(xored.begin(), xored.end());
+    std::string norm;
+    norm.reserve((rot.size() + xored.size()) * sizeof(PackedEntry));
+    const auto append = [&norm](const std::vector<PackedEntry>& v) {
+      norm.append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(PackedEntry));
+    };
+    append(rot);
+    append(xored);
+    return norm;
+  }
+
+  const KernelDesc& kernel_;
+  std::uint32_t digits_;
+  std::uint64_t class_cap_;
+  Closure closure_;
+  std::unordered_map<std::string, std::size_t> dedupe_;
+};
+
+/// Candidate evaluator with epoch-stamped bank counters and sound
+/// early-abort: once the running max reaches `abort_at` the candidate's
+/// true bound can only be >= it, so discarding it preserves any
+/// "minimum over the family" claim anchored at or below `abort_at`.
+class Evaluator {
+ public:
+  explicit Evaluator(const Closure& closure)
+      : closure_(closure),
+        counts_(closure.width, 0),
+        stamp_(closure.width, 0) {}
+
+  struct Outcome {
+    double bound = 1.0;
+    bool completed = true;
+    std::size_t worst_class = std::numeric_limits<std::size_t>::max();
+  };
+
+  Outcome evaluate(const SynthMapping& mapping, double abort_at) {
+    Outcome out;
+    out.bound = std::max(1.0, closure_.const_floor);
+    if (out.bound >= abort_at) {
+      out.completed = false;
+      return out;
+    }
+    const std::uint32_t w = closure_.width;
+    const bool rotate = mapping.transform == RowTransform::kRotate;
+    const std::uint32_t digits = closure_.digits;
+    for (std::size_t c = 0; c < closure_.classes.size(); ++c) {
+      ++epoch_;
+      std::uint32_t class_max = 0;
+      for (const PackedEntry e : closure_.classes[c].entries) {
+        std::uint32_t term = 0;
+        if (rotate) {
+          for (std::uint32_t d = 0; d < digits; ++d) {
+            term += mapping.tables[d][entry_key(e, d)];
+          }
+          term = (entry_col(e) + term) % w;
+        } else {
+          for (std::uint32_t d = 0; d < digits; ++d) {
+            term ^= mapping.tables[d][entry_key(e, d)];
+          }
+          term = (entry_col(e) ^ term) % w;
+        }
+        if (stamp_[term] != epoch_) {
+          stamp_[term] = epoch_;
+          counts_[term] = 0;
+        }
+        class_max = std::max(class_max, ++counts_[term]);
+      }
+      if (static_cast<double>(class_max) > out.bound) {
+        out.bound = static_cast<double>(class_max);
+        out.worst_class = c;
+        if (out.bound >= abort_at) {
+          out.completed = false;
+          return out;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Per-site certified bounds under `mapping` (full evaluation).
+  std::vector<double> site_bounds(const SynthMapping& mapping,
+                                  std::size_t num_sites) {
+    std::vector<double> bounds(num_sites, 1.0);
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      bounds[s] = closure_.const_floor_per_site[s];
+    }
+    const std::uint32_t w = closure_.width;
+    const bool rotate = mapping.transform == RowTransform::kRotate;
+    const std::uint32_t digits = closure_.digits;
+    for (const StoredClass& cls : closure_.classes) {
+      ++epoch_;
+      std::uint32_t class_max = 0;
+      for (const PackedEntry e : cls.entries) {
+        std::uint32_t term = 0;
+        if (rotate) {
+          for (std::uint32_t d = 0; d < digits; ++d) {
+            term += mapping.tables[d][entry_key(e, d)];
+          }
+          term = (entry_col(e) + term) % w;
+        } else {
+          for (std::uint32_t d = 0; d < digits; ++d) {
+            term ^= mapping.tables[d][entry_key(e, d)];
+          }
+          term = (entry_col(e) ^ term) % w;
+        }
+        if (stamp_[term] != epoch_) {
+          stamp_[term] = epoch_;
+          counts_[term] = 0;
+        }
+        class_max = std::max(class_max, ++counts_[term]);
+      }
+      for (const std::uint32_t s : cls.sites) {
+        bounds[s] = std::max(bounds[s], static_cast<double>(class_max));
+      }
+    }
+    return bounds;
+  }
+
+ private:
+  const Closure& closure_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+};
+
+std::vector<std::vector<std::uint32_t>> zero_tables(std::uint32_t digits,
+                                                    std::uint32_t width) {
+  return std::vector<std::vector<std::uint32_t>>(
+      digits, std::vector<std::uint32_t>(width, 0));
+}
+
+/// The generator set: the deterministic corners of the family (RAW,
+/// per-digit PAD-style identities, per-digit linear sweeps, the binary
+/// identity combinations), then seeded random permutations per digit —
+/// the paper's RAP draws. Rotate always; xor when width is a power of 2.
+std::vector<SynthMapping> generate_candidates(std::uint32_t width,
+                                              std::uint32_t digits,
+                                              const SynthesisOptions& opts) {
+  std::vector<SynthMapping> candidates;
+  const bool pow2 = width > 0 && (width & (width - 1)) == 0;
+  const std::vector<RowTransform> transforms =
+      pow2 ? std::vector<RowTransform>{RowTransform::kRotate,
+                                       RowTransform::kXor}
+           : std::vector<RowTransform>{RowTransform::kRotate};
+
+  const auto push = [&](RowTransform transform,
+                        std::vector<std::vector<std::uint32_t>> tables) {
+    SynthMapping m;
+    m.width = width;
+    m.transform = transform;
+    m.tables = std::move(tables);
+    candidates.push_back(std::move(m));
+  };
+
+  // RAW (all zeros): transform-independent, generate once.
+  push(RowTransform::kRotate, zero_tables(digits, width));
+
+  for (const RowTransform transform : transforms) {
+    // Binary identity combinations over the digits (covers the single
+    // identities and the all-identity diagonal-style layout).
+    for (std::uint32_t mask = 1; mask < (1u << digits); ++mask) {
+      auto tables = zero_tables(digits, width);
+      for (std::uint32_t d = 0; d < digits; ++d) {
+        if ((mask >> d) & 1u) {
+          for (std::uint32_t r = 0; r < width; ++r) tables[d][r] = r;
+        }
+      }
+      push(transform, std::move(tables));
+    }
+    // Per-digit linear sweeps t_d[r] = c * r mod w (rotate) or the xor
+    // analogue; c = 1 is already covered by the identity combinations.
+    for (std::uint32_t d = 0; d < digits; ++d) {
+      for (std::uint32_t c = 2; c < width; ++c) {
+        auto tables = zero_tables(digits, width);
+        for (std::uint32_t r = 0; r < width; ++r) {
+          tables[d][r] =
+              transform == RowTransform::kRotate
+                  ? static_cast<std::uint32_t>(
+                        (static_cast<std::uint64_t>(c) * r) % width)
+                  : (c * r) % width;
+        }
+        push(transform, std::move(tables));
+      }
+    }
+  }
+
+  // Random permutation tables (independent per digit) — the RAP corner.
+  util::Pcg32 rng(opts.seed, /*stream=*/0x73796e7468ull);  // "synth"
+  for (std::uint64_t draw = 0; draw < opts.random_draws; ++draw) {
+    for (const RowTransform transform : transforms) {
+      auto tables = zero_tables(digits, width);
+      for (std::uint32_t d = 0; d < digits; ++d) {
+        const core::Permutation perm = core::Permutation::random(width, rng);
+        for (std::uint32_t r = 0; r < width; ++r) tables[d][r] = perm[r];
+      }
+      push(transform, std::move(tables));
+    }
+  }
+  return candidates;
+}
+
+std::string format_bound_value(double bound) {
+  std::ostringstream out;
+  if (bound == static_cast<double>(static_cast<std::uint64_t>(bound))) {
+    out << static_cast<std::uint64_t>(bound);
+  } else {
+    out.precision(3);
+    out << bound;
+  }
+  return out.str();
+}
+
+CongestionCertificate make_certificate(const SynthMapping& mapping,
+                                       const Closure& closure, double bound,
+                                       std::uint64_t classes) {
+  CongestionCertificate cert;
+  cert.scheme = core::Scheme::kSynth;
+  cert.bound = bound;
+  cert.pattern = mapping.describe();
+  std::ostringstream claim;
+  if (closure.coverage == Coverage::kSampled) {
+    cert.kind = BoundKind::kExpectedUpper;
+    cert.rule = "synth-direct-eval-sampled";
+    claim << "congestion <= " << format_bound_value(bound)
+          << " on every sampled binding (" << classes
+          << " classes; coverage truncated, bound not exhaustive)";
+  } else {
+    cert.kind = BoundKind::kExact;
+    cert.rule = "synth-direct-eval";
+    claim << "worst-warp congestion " << format_bound_value(bound)
+          << " over ALL loop bindings: direct evaluation of every residue "
+             "class mod w^"
+          << (closure.digits + 1) << " (" << classes << " classes)";
+  }
+  cert.claim = claim.str();
+  return cert;
+}
+
+}  // namespace
+
+const char* row_transform_name(RowTransform transform) noexcept {
+  switch (transform) {
+    case RowTransform::kRotate: return "rotate";
+    case RowTransform::kXor: return "xor";
+  }
+  return "?";
+}
+
+const char* witness_kind_name(WitnessKind kind) noexcept {
+  switch (kind) {
+    case WitnessKind::kGlobalOptimal: return "global-optimal";
+    case WitnessKind::kFamilyMinimal: return "family-minimal";
+    case WitnessKind::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+std::uint32_t SynthMapping::row_term(std::uint64_t row) const noexcept {
+  std::uint32_t term = 0;
+  std::uint64_t digits_value = row;
+  for (const std::vector<std::uint32_t>& table : tables) {
+    const auto key = static_cast<std::uint32_t>(digits_value % width);
+    if (transform == RowTransform::kRotate) {
+      term += table[key];
+    } else {
+      term ^= table[key];
+    }
+    digits_value /= width;
+  }
+  return transform == RowTransform::kRotate ? term % width : term % width;
+}
+
+std::uint32_t SynthMapping::bank_of(std::uint64_t addr) const noexcept {
+  const auto col = static_cast<std::uint32_t>(addr % width);
+  const std::uint32_t term = row_term(addr / width);
+  return transform == RowTransform::kRotate ? (col + term) % width
+                                            : (col ^ term) % width;
+}
+
+std::uint64_t SynthMapping::translate(std::uint64_t addr) const noexcept {
+  return (addr / width) * width + bank_of(addr);
+}
+
+std::string SynthMapping::spec() const {
+  std::ostringstream out;
+  out << "ps1:"
+      << (transform == RowTransform::kRotate ? "rot" : "xor")
+      << ":w=" << width << ":";
+  for (std::size_t d = 0; d < tables.size(); ++d) {
+    if (d != 0) out << "|";
+    for (std::size_t r = 0; r < tables[d].size(); ++r) {
+      if (r != 0) out << ",";
+      out << tables[d][r];
+    }
+  }
+  return out.str();
+}
+
+std::string SynthMapping::describe() const {
+  std::ostringstream out;
+  out << row_transform_name(transform) << ", " << tables.size()
+      << " digit table" << (tables.size() == 1 ? "" : "s") << ", w="
+      << width;
+  return out.str();
+}
+
+SynthMapping SynthMapping::parse_spec(const std::string& spec) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("synth spec: " + what);
+  };
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ':') {
+      parts.push_back(spec.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() != 4) fail("expected ps1:<rot|xor>:w=<w>:<tables>");
+  if (parts[0] != "ps1") fail("unknown magic '" + parts[0] + "'");
+
+  SynthMapping mapping;
+  if (parts[1] == "rot") {
+    mapping.transform = RowTransform::kRotate;
+  } else if (parts[1] == "xor") {
+    mapping.transform = RowTransform::kXor;
+  } else {
+    fail("unknown transform '" + parts[1] + "' (rot or xor)");
+  }
+
+  if (parts[2].rfind("w=", 0) != 0) fail("expected w=<width>");
+  std::uint64_t width = 0;
+  for (const char ch : parts[2].substr(2)) {
+    if (ch < '0' || ch > '9') fail("width is not a number");
+    width = width * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (width > 1u << 16) fail("width out of range");
+  }
+  if (width == 0 || width > 64) fail("width must be in [1, 64]");
+  mapping.width = static_cast<std::uint32_t>(width);
+  if (mapping.transform == RowTransform::kXor &&
+      (width & (width - 1)) != 0) {
+    fail("xor transform requires a power-of-two width");
+  }
+
+  std::vector<std::uint32_t> table;
+  std::uint64_t value = 0;
+  bool have_digit = false;
+  const auto flush_value = [&] {
+    if (!have_digit) fail("empty table entry");
+    if (value >= width) fail("table entry " + std::to_string(value) +
+                             " out of range [0, " + std::to_string(width) +
+                             ")");
+    table.push_back(static_cast<std::uint32_t>(value));
+    value = 0;
+    have_digit = false;
+  };
+  const auto flush_table = [&] {
+    flush_value();
+    if (table.size() != width) {
+      fail("table has " + std::to_string(table.size()) +
+           " entries, expected " + std::to_string(width));
+    }
+    mapping.tables.push_back(std::move(table));
+    table.clear();
+  };
+  for (const char ch : parts[3]) {
+    if (ch >= '0' && ch <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+      if (value > 1u << 16) fail("table entry out of range");
+      have_digit = true;
+    } else if (ch == ',') {
+      flush_value();
+    } else if (ch == '|') {
+      flush_table();
+    } else {
+      fail(std::string("unexpected character '") + ch + "' in tables");
+    }
+  }
+  flush_table();
+  if (mapping.tables.empty() || mapping.tables.size() > kMaxDigits) {
+    fail("expected 1.." + std::to_string(kMaxDigits) + " digit tables");
+  }
+  return mapping;
+}
+
+SynthMap::SynthMap(SynthMapping mapping, std::uint64_t size)
+    : core::AddressMap(mapping.width, size), mapping_(std::move(mapping)) {
+  if (mapping_.width == 0 || size % mapping_.width != 0) {
+    throw std::invalid_argument(
+        "SynthMap: size must be a positive multiple of the width");
+  }
+  if (mapping_.tables.empty() || mapping_.tables.size() > kMaxDigits) {
+    throw std::invalid_argument("SynthMap: mapping needs 1..3 digit tables");
+  }
+  for (const std::vector<std::uint32_t>& table : mapping_.tables) {
+    if (table.size() != mapping_.width) {
+      throw std::invalid_argument("SynthMap: table size != width");
+    }
+    for (const std::uint32_t entry : table) {
+      if (entry >= mapping_.width) {
+        throw std::invalid_argument("SynthMap: table entry out of range");
+      }
+    }
+  }
+  if (mapping_.transform == RowTransform::kXor &&
+      (mapping_.width & (mapping_.width - 1)) != 0) {
+    throw std::invalid_argument(
+        "SynthMap: xor transform requires a power-of-two width");
+  }
+}
+
+std::string SynthMap::name() const {
+  return "SYNTH(" + mapping_.describe() + ")";
+}
+
+std::unique_ptr<core::AddressMap> make_synth_map(const SynthMapping& mapping,
+                                                 std::uint64_t memory_size) {
+  const std::uint64_t w = mapping.width;
+  if (w == 0) throw std::invalid_argument("make_synth_map: zero width");
+  const std::uint64_t rows = (memory_size + w - 1) / w;
+  return std::make_unique<SynthMap>(mapping, std::max<std::uint64_t>(1, rows) * w);
+}
+
+namespace {
+
+std::uint32_t digits_for_rows(std::uint64_t rows, std::uint32_t width,
+                              std::uint32_t max_digits) {
+  std::uint32_t digits = 1;
+  std::uint64_t reach = width;
+  const std::uint32_t cap =
+      std::min<std::uint32_t>(std::max<std::uint32_t>(max_digits, 1),
+                              kMaxDigits);
+  while (digits < cap && reach < rows) {
+    reach *= width;
+    ++digits;
+  }
+  return digits;
+}
+
+Closure build_closure(const KernelDesc& kernel, std::uint32_t digits,
+                      std::uint64_t class_cap) {
+  return ClosureBuilder(kernel, digits, class_cap).build();
+}
+
+void check_synthesizable(const KernelDesc& kernel,
+                         const KernelAnalysis& baseline) {
+  const std::vector<std::string> violations = validate_kernel(kernel);
+  if (!violations.empty()) {
+    throw std::invalid_argument("synthesize: invalid kernel: " +
+                                violations.front());
+  }
+  if (kernel.width > 64) {
+    throw std::invalid_argument("synthesize: width must be <= 64");
+  }
+  if (kernel.sites.empty()) {
+    throw std::invalid_argument("synthesize: kernel has no access sites");
+  }
+  if (baseline.any_out_of_bounds) {
+    throw std::invalid_argument(
+        "synthesize: kernel has out-of-bounds accesses; remapping cannot "
+        "repair an OOB index — fix the kernel first");
+  }
+}
+
+}  // namespace
+
+SynthesisResult synthesize_mapping(const KernelDesc& kernel,
+                                   const SynthesisOptions& options) {
+  const KernelAnalysis baseline = analyze_kernel(kernel, core::Scheme::kRaw);
+  check_synthesizable(kernel, baseline);
+
+  const std::uint32_t digits =
+      digits_for_rows(kernel.rows, kernel.width, options.max_digits);
+  const Closure closure =
+      build_closure(kernel, digits, std::max<std::uint64_t>(options.class_cap,
+                                                            std::uint64_t{1}));
+  Evaluator evaluator(closure);
+
+  const double global_floor = std::max(1.0, closure.atomic_floor);
+  const double family_floor =
+      std::max({global_floor, closure.const_floor, closure.family_floor});
+
+  std::vector<SynthMapping> candidates =
+      generate_candidates(kernel.width, digits, options);
+
+  SynthMapping best = candidates.front();  // RAW: always present
+  double best_bound = std::numeric_limits<double>::infinity();
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t family_size = candidates.size();
+  bool budget_hit = false;
+  bool cancelled = false;
+
+  const auto budget_left = [&] {
+    return evaluated + pruned < options.candidate_budget;
+  };
+  const auto poll_cancel = [&] {
+    if (options.cancelled && options.cancelled()) cancelled = true;
+    return cancelled;
+  };
+
+  for (const SynthMapping& candidate : candidates) {
+    if (best_bound <= family_floor) break;  // floor met: provably minimal
+    if (!budget_left()) {
+      budget_hit = true;
+      break;
+    }
+    if (poll_cancel()) break;
+    const Evaluator::Outcome outcome =
+        evaluator.evaluate(candidate, best_bound);
+    if (outcome.completed) {
+      ++evaluated;
+      if (outcome.bound < best_bound) {
+        best_bound = outcome.bound;
+        best = candidate;
+      }
+    } else {
+      ++pruned;
+    }
+  }
+
+  // Greedy single-entry repair of the incumbent: re-evaluate with one
+  // table entry changed, adopt strict improvements. Each trial joins the
+  // searched family (and the evaluated/pruned accounting).
+  if (best_bound > family_floor && !cancelled) {
+    std::uint64_t passes = 0;
+    bool improved = true;
+    while (improved && passes < options.greedy_passes && budget_left() &&
+           !poll_cancel() && best_bound > family_floor) {
+      improved = false;
+      ++passes;
+      const Evaluator::Outcome current =
+          evaluator.evaluate(best, std::numeric_limits<double>::infinity());
+      if (current.worst_class == std::numeric_limits<std::size_t>::max()) {
+        break;  // the bound comes from a constant class: tables can't help
+      }
+      const StoredClass& worst = closure.classes[current.worst_class];
+      for (const PackedEntry e : worst.entries) {
+        for (std::uint32_t d = 0; d < digits && !improved; ++d) {
+          const std::uint32_t key = entry_key(e, d);
+          const std::uint32_t original = best.tables[d][key];
+          for (std::uint32_t v = 0; v < kernel.width; ++v) {
+            if (v == original) continue;
+            if (!budget_left()) {
+              budget_hit = true;
+              break;
+            }
+            ++family_size;
+            best.tables[d][key] = v;
+            const Evaluator::Outcome trial =
+                evaluator.evaluate(best, best_bound);
+            if (trial.completed && trial.bound < best_bound) {
+              ++evaluated;
+              best_bound = trial.bound;
+              improved = true;
+              break;  // keep v
+            }
+            ++pruned;
+            best.tables[d][key] = original;
+          }
+          if (budget_hit) break;
+        }
+        if (improved || budget_hit) break;
+      }
+      if (budget_hit) break;
+    }
+  }
+
+  // Certify the winner with a final full evaluation (the search's
+  // incumbent bound is already exact, but re-deriving it here keeps the
+  // certificate independent of the pruning logic).
+  const Evaluator::Outcome final_outcome =
+      evaluator.evaluate(best, std::numeric_limits<double>::infinity());
+  const double bound = final_outcome.bound;
+
+  SynthesisResult result;
+  result.kernel = kernel.name;
+  result.width = kernel.width;
+  result.rows = kernel.rows;
+  result.mapping = best;
+  result.coverage = closure.coverage;
+  result.classes = closure.classes_seen;
+  result.candidates = evaluated + pruned;
+  result.baseline_bound = baseline.worst.bound;
+  result.certificate =
+      make_certificate(best, closure, bound, closure.classes_seen);
+  result.site_bounds = evaluator.site_bounds(best, kernel.sites.size());
+
+  // The witness class: rematerialize the worst class's real trace.
+  std::size_t witness_site = closure.worst_const.site;
+  std::vector<std::uint64_t> witness_binding = closure.worst_const.binding;
+  if (final_outcome.worst_class != std::numeric_limits<std::size_t>::max() &&
+      bound > closure.const_floor) {
+    const StoredClass& cls = closure.classes[final_outcome.worst_class];
+    witness_site = cls.first_site;
+    witness_binding = cls.binding;
+  }
+  if (witness_binding.empty()) {
+    witness_binding.assign(kernel.vars.size(), 0);
+  }
+  result.witness_site = witness_site;
+  for (std::size_t v = 0; v < kernel.vars.size(); ++v) {
+    result.witness_binding.emplace_back(kernel.vars[v].name,
+                                        witness_binding[v]);
+  }
+  if (witness_site < kernel.sites.size()) {
+    for (const std::int64_t a : materialize_site(
+             kernel, kernel.sites[witness_site], witness_binding)) {
+      result.witness_trace.push_back(static_cast<std::uint64_t>(a));
+    }
+  }
+
+  // The optimality witness.
+  OptimalityWitness witness;
+  witness.family_size = family_size;
+  witness.evaluated = evaluated;
+  witness.pruned = pruned;
+  std::ostringstream detail;
+  if (closure.coverage == Coverage::kSampled) {
+    witness.kind = WitnessKind::kBestEffort;
+    witness.reason = "sampled-coverage";
+    witness.lower_bound = 1.0;
+    detail << "binding coverage was sampled, so the bound holds on the "
+              "sample only; no minimality claim";
+  } else if (bound <= global_floor) {
+    witness.kind = WitnessKind::kGlobalOptimal;
+    witness.lower_bound = global_floor;
+    if (bound <= 1.0) {
+      witness.reason = "bound-one";
+      detail << "congestion 1 is the unconditional minimum";
+    } else {
+      witness.reason = "atomic-floor";
+      detail << "same-address atomic requests serialize "
+             << format_bound_value(global_floor)
+             << "-way under every bijection";
+    }
+  } else if (cancelled) {
+    witness.kind = WitnessKind::kBestEffort;
+    witness.reason = "cancelled";
+    witness.lower_bound = family_floor;
+    detail << "search cancelled before the generator set was exhausted";
+  } else if (budget_hit) {
+    witness.kind = WitnessKind::kBestEffort;
+    witness.reason = "budget-exhausted";
+    witness.lower_bound = family_floor;
+    detail << "candidate budget exhausted before the generator set";
+  } else if (bound <= family_floor) {
+    witness.kind = WitnessKind::kFamilyMinimal;
+    witness.reason = "family-floor";
+    witness.lower_bound = family_floor;
+    detail << "requests with identical (column, digit-key) signatures "
+              "collide under every family member, flooring the family at "
+           << format_bound_value(family_floor);
+  } else {
+    witness.kind = WitnessKind::kFamilyMinimal;
+    witness.reason = "family-exhausted";
+    witness.lower_bound = bound;
+    detail << "every one of the " << family_size
+           << " generated candidates was evaluated or soundly pruned at "
+              "or above this bound";
+  }
+  witness.detail = detail.str();
+  result.witness = witness;
+  return result;
+}
+
+CongestionCertificate certify_mapping(const KernelDesc& kernel,
+                                      const SynthMapping& mapping) {
+  const KernelAnalysis baseline = analyze_kernel(kernel, core::Scheme::kRaw);
+  check_synthesizable(kernel, baseline);
+  if (mapping.width != kernel.width) {
+    throw std::invalid_argument(
+        "certify_mapping: mapping width != kernel width");
+  }
+  const auto digits = static_cast<std::uint32_t>(mapping.tables.size());
+  if (digits == 0 || digits > kMaxDigits) {
+    throw std::invalid_argument("certify_mapping: mapping needs 1..3 tables");
+  }
+  const Closure closure =
+      build_closure(kernel, digits, std::uint64_t{1} << 18);
+  Evaluator evaluator(closure);
+  const Evaluator::Outcome outcome =
+      evaluator.evaluate(mapping, std::numeric_limits<double>::infinity());
+  return make_certificate(mapping, closure, outcome.bound,
+                          closure.classes_seen);
+}
+
+std::string SynthesisResult::to_json() const {
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.kv("kernel", std::string_view(kernel));
+  json.kv("width", static_cast<std::uint64_t>(width));
+  json.kv("rows", rows);
+  json.key("mapping");
+  json.begin_object();
+  json.kv("spec", mapping.spec());
+  json.kv("transform", row_transform_name(mapping.transform));
+  json.kv("digits", static_cast<std::uint64_t>(mapping.digits()));
+  json.key("tables");
+  json.begin_array();
+  for (const std::vector<std::uint32_t>& table : mapping.tables) {
+    json.begin_array();
+    for (const std::uint32_t entry : table) {
+      json.value(static_cast<std::uint64_t>(entry));
+    }
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  json.key("certificate").raw_value(certificate.to_json());
+  json.key("witness");
+  json.begin_object();
+  json.kv("kind", witness_kind_name(witness.kind));
+  json.kv("reason", std::string_view(witness.reason));
+  json.kv("lower_bound", witness.lower_bound);
+  json.kv("family_size", witness.family_size);
+  json.kv("evaluated", witness.evaluated);
+  json.kv("pruned", witness.pruned);
+  json.kv("detail", std::string_view(witness.detail));
+  json.end_object();
+  json.kv("classes", classes);
+  json.kv("coverage", coverage_name(coverage));
+  json.kv("candidates", candidates);
+  json.key("site_bounds");
+  json.begin_array();
+  for (const double b : site_bounds) json.value(b);
+  json.end_array();
+  json.kv("witness_site", static_cast<std::uint64_t>(witness_site));
+  json.key("witness_binding");
+  json.begin_object();
+  for (const auto& [name, value] : witness_binding) json.kv(name, value);
+  json.end_object();
+  json.key("witness_trace");
+  json.begin_array();
+  for (const std::uint64_t addr : witness_trace) json.value(addr);
+  json.end_array();
+  json.key("baseline");
+  json.begin_object();
+  json.kv("scheme", core::scheme_name(core::Scheme::kRaw));
+  json.kv("bound", baseline_bound);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace rapsim::analyze

@@ -46,6 +46,7 @@ std::unique_ptr<Tensor4dMap> make_tensor4d_map(Scheme scheme,
       return std::make_unique<OnePermW2RandMap>(width, rng);
     case Scheme::kRap:
     case Scheme::kPad:
+    case Scheme::kSynth:
       break;
   }
   throw std::invalid_argument(

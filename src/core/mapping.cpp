@@ -13,6 +13,7 @@ const char* scheme_name(Scheme scheme) noexcept {
     case Scheme::kRapW2P: return "w2P";
     case Scheme::kRap1PW2R: return "1P+w2R";
     case Scheme::kPad: return "PAD";
+    case Scheme::kSynth: return "SYNTH";
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class Scheme {
   kRapW2P,       // 4-D: w^2 permutations, f = sigma_{i*w+j}[k]
   kRap1PW2R,     // 4-D: one permutation + w^2 random offsets
   kPad,          // deterministic +1 padding (the CUDA folklore baseline)
+  kSynth,        // synthesized permute-shift tables (analyze/synth.hpp)
 };
 
 [[nodiscard]] const char* scheme_name(Scheme scheme) noexcept;

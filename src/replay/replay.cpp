@@ -1,5 +1,6 @@
 #include "replay/replay.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -161,6 +162,68 @@ ReplayResult replay_trace(const AccessTrace& trace,
   result.stats = machine.run(kernel, &result.dispatches);
   if (tracer) tracer->end(execute_span);
   return result;
+}
+
+AccessTrace trace_from_kernel(const analyze::KernelDesc& kernel,
+                              std::uint64_t max_records) {
+  const auto errors = analyze::validate_kernel(kernel);
+  if (!errors.empty()) {
+    throw std::invalid_argument("trace_from_kernel: kernel '" + kernel.name +
+                                "' is invalid: " + errors.front());
+  }
+  if (kernel.width > kMaxTraceWidth) {
+    throw std::invalid_argument(
+        "trace_from_kernel: width exceeds the trace format cap");
+  }
+  const std::uint64_t cap =
+      std::min<std::uint64_t>(std::max<std::uint64_t>(max_records, 1),
+                              kMaxTraceInstructions);
+
+  AccessTrace trace;
+  trace.header.width = kernel.width;
+  trace.header.num_threads = kernel.width;
+  trace.header.memory_size = kernel.size();
+
+  std::vector<std::uint64_t> binding(kernel.vars.size(), 0);
+  bool done = false;
+  while (!done && trace.records.size() < cap) {
+    for (const analyze::AccessSite& site : kernel.sites) {
+      if (trace.records.size() >= cap) break;
+      const std::vector<std::int64_t> addrs =
+          analyze::materialize_site(kernel, site, binding);
+      TraceRecord record;
+      switch (site.dir) {
+        case analyze::AccessDir::kLoad:
+          record.kind = RecordKind::kRead;
+          break;
+        case analyze::AccessDir::kStore:
+          record.kind = RecordKind::kWrite;
+          break;
+        case analyze::AccessDir::kAtomic:
+          record.kind = RecordKind::kAtomic;
+          break;
+      }
+      record.instr = static_cast<std::uint32_t>(trace.records.size());
+      record.warp = 0;
+      const std::size_t n = addrs.size();
+      record.lane_mask =
+          n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+      record.addrs.reserve(n);
+      for (const std::int64_t addr : addrs) {
+        record.addrs.push_back(static_cast<std::uint64_t>(addr));
+      }
+      trace.records.push_back(std::move(record));
+    }
+    // Advance the binding odometer (innermost variable fastest).
+    std::size_t v = 0;
+    for (; v < binding.size(); ++v) {
+      if (++binding[v] < kernel.vars[v].count) break;
+      binding[v] = 0;
+    }
+    done = v == binding.size();
+  }
+  trace.validate();
+  return trace;
 }
 
 analyze::CongestionCertificate certify_trace(const AccessTrace& trace,

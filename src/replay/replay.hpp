@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "analyze/certificate.hpp"
+#include "analyze/kernelir.hpp"
 #include "core/mapping.hpp"
 #include "dmm/capture.hpp"
 #include "dmm/machine.hpp"
@@ -89,6 +90,21 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay_trace(const AccessTrace& trace,
                                         const core::AddressMap& map,
                                         const ReplayOptions& options = {});
+
+/// Materialize a kernel IR description (analyze/kernelir.hpp) into a
+/// concrete AccessTrace: one memory record per (loop binding, access
+/// site) pair, bindings enumerated odometer-style and truncated at
+/// `max_records` (the truncation is deterministic — a prefix of the
+/// odometer order). The record kind follows the site's AccessDir, the
+/// lane mask covers the site's active lanes, and the header's memory
+/// size is the kernel's rows x width footprint. This is the bridge that
+/// lets a synthesized mapping (analyze/synth.hpp) be confirmed on the
+/// full DMM for kernels that exist only as IR. Throws
+/// std::invalid_argument on an invalid kernel or one whose width
+/// exceeds kMaxTraceWidth.
+[[nodiscard]] AccessTrace trace_from_kernel(const analyze::KernelDesc& kernel,
+                                            std::uint64_t max_records = 1u
+                                                                        << 16);
 
 /// Worst-warp congestion certificate for the trace's memory records
 /// under `scheme` (see analyze/certificate.hpp for the rule set).

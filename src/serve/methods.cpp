@@ -11,6 +11,7 @@
 #include "analyze/certificate.hpp"
 #include "analyze/kernelir.hpp"
 #include "analyze/lint.hpp"
+#include "analyze/synth.hpp"
 #include "core/factory.hpp"
 #include "replay/campaign.hpp"
 #include "replay/replay.hpp"
@@ -26,6 +27,9 @@ namespace {
 // allocation before the handler notices.
 constexpr std::size_t kMaxWarpLists = 1u << 16;
 constexpr std::uint64_t kMaxAdviseDraws = 1u << 16;
+// A synthesis draw is a full family-member evaluation, far costlier than
+// an advise draw — cap it tighter.
+constexpr std::uint64_t kMaxSynthDraws = 1u << 12;
 
 [[noreturn]] void bad(const std::string& message) {
   throw ServeError(ErrorCode::kBadRequest, message);
@@ -208,6 +212,23 @@ MethodCall prepare_replay(const JsonValue& params) {
   if (latency == 0 || latency > 1u << 16) bad("params.latency out of range");
   const bool certify = get_bool(params, "certify", false);
 
+  // Optional synthesized-mapping override: params.map is a permute-shift
+  // spec (analyze::SynthMapping::parse_spec); exclusive with a non-default
+  // params.scheme. This is how a mapping minted by advise.synthesize gets
+  // confirmed against a captured trace on the full DMM.
+  std::optional<analyze::SynthMapping> synth_mapping;
+  if (const JsonValue* map_spec = find_param(params, "map")) {
+    if (!map_spec->is_string()) bad("params.map must be a string");
+    if (find_param(params, "scheme")) {
+      bad("params.map and params.scheme are exclusive");
+    }
+    try {
+      synth_mapping = analyze::SynthMapping::parse_spec(map_spec->as_string());
+    } catch (const std::invalid_argument& e) {
+      bad(std::string("map: ") + e.what());
+    }
+  }
+
   const JsonValue* inline_text = find_param(params, "trace");
   const JsonValue* path = find_param(params, "trace_path");
   if (!!inline_text == !!path) {
@@ -235,17 +256,34 @@ MethodCall prepare_replay(const JsonValue& params) {
   // path-loaded copy of one stream share a cache entry.
   const std::uint64_t trace_hash = replay::content_hash(trace);
 
+  if (synth_mapping) {
+    if (certify) {
+      bad("params.certify is not supported with params.map (the spec "
+          "carries its own certificate from advise.synthesize)");
+    }
+    if (synth_mapping->width != trace.header.width) {
+      bad("map width " + std::to_string(synth_mapping->width) +
+          " != trace width " + std::to_string(trace.header.width));
+    }
+  }
+
   MethodCall call;
   call.identity = std::string("replay\n") + util::hex64(trace_hash) + '\n' +
-                  core::scheme_name(scheme) + '\n' + std::to_string(seed) +
-                  '\n' + std::to_string(latency) + '\n' +
-                  (certify ? "certify" : "-");
+                  (synth_mapping ? synth_mapping->spec()
+                                 : std::string(core::scheme_name(scheme))) +
+                  '\n' + std::to_string(seed) + '\n' +
+                  std::to_string(latency) + '\n' + (certify ? "certify" : "-");
   call.run = [scheme, seed, latency, certify, trace_hash,
+              synth_mapping = std::move(synth_mapping),
               trace = std::move(trace)](const ExecContext& ctx) {
     const std::uint32_t width = trace.header.width;
     const std::uint64_t rows =
         (trace.header.memory_size + width - 1) / width;
-    const auto map = core::make_matrix_map(scheme, width, rows, seed);
+    const std::unique_ptr<core::AddressMap> map =
+        synth_mapping
+            ? analyze::make_synth_map(*synth_mapping,
+                                      trace.header.memory_size)
+            : core::make_matrix_map(scheme, width, rows, seed);
     if (ctx.cancelled()) {
       throw ServeError(ErrorCode::kDeadlineExceeded,
                        "cancelled before simulation");
@@ -262,7 +300,9 @@ MethodCall prepare_replay(const JsonValue& params) {
     telemetry::JsonWriter json;
     json.begin_object();
     json.kv("trace_hash", std::string_view(util::hex64(trace_hash)));
-    json.kv("scheme", core::scheme_name(scheme));
+    json.kv("scheme", synth_mapping ? core::scheme_name(core::Scheme::kSynth)
+                                    : core::scheme_name(scheme));
+    if (synth_mapping) json.kv("map", synth_mapping->spec());
     json.kv("width", static_cast<std::uint64_t>(width));
     json.kv("latency", latency);
     json.kv("seed", seed);
@@ -370,11 +410,64 @@ MethodCall prepare_advise(const JsonValue& params) {
   return call;
 }
 
+// ------------------------------------------------------- advise.synthesize
+
+MethodCall prepare_synthesize(const JsonValue& params) {
+  const std::string text = require_string(params, "kernel");
+  const std::uint32_t width = get_width(params, 32);
+  const std::uint64_t draws = get_u64(params, "draws", 48);
+  if (draws == 0 || draws > kMaxSynthDraws) bad("params.draws out of range");
+  const std::uint64_t seed = get_u64(params, "seed", 1);
+  const std::uint64_t digits = get_u64(params, "digits", analyze::kMaxDigits);
+  if (digits == 0 || digits > analyze::kMaxDigits) {
+    bad("params.digits must be in [1, " +
+        std::to_string(analyze::kMaxDigits) + "]");
+  }
+
+  analyze::KernelDesc kernel;
+  try {
+    kernel = analyze::parse_kernel_text(text, width);
+  } catch (const std::invalid_argument& e) {
+    bad(std::string("kernel: ") + e.what());
+  }
+
+  MethodCall call;
+  call.identity = std::string("advise.synthesize\n") + std::to_string(width) +
+                  '\n' + std::to_string(digits) + '\n' +
+                  std::to_string(draws) + '\n' + std::to_string(seed) + '\n' +
+                  text;
+  call.run = [draws, seed, digits,
+              kernel = std::move(kernel)](const ExecContext& ctx) {
+    analyze::SynthesisOptions options;
+    options.max_digits = static_cast<std::uint32_t>(digits);
+    options.random_draws = draws;
+    options.seed = seed;
+    // The search polls this between candidate evaluations, so a request
+    // whose deadline lapses mid-search sheds promptly.
+    options.cancelled = [&ctx] {
+      if (ctx.cancelled()) {
+        throw ServeError(ErrorCode::kDeadlineExceeded,
+                         "cancelled during synthesis search");
+      }
+      return false;
+    };
+    try {
+      return analyze::synthesize_mapping(kernel, options).to_json();
+    } catch (const std::invalid_argument& e) {
+      // Unsynthesizable kernel (out-of-bounds accesses, ...): the
+      // request is at fault, not the server.
+      throw ServeError(ErrorCode::kBadRequest,
+                       std::string("kernel: ") + e.what());
+    }
+  };
+  return call;
+}
+
 }  // namespace
 
 bool is_pool_method(const std::string& method) noexcept {
   return method == "certify" || method == "lint" || method == "replay" ||
-         method == "advise";
+         method == "advise" || method == "advise.synthesize";
 }
 
 MethodCall prepare_method(const std::string& method, const JsonValue& params) {
@@ -382,10 +475,11 @@ MethodCall prepare_method(const std::string& method, const JsonValue& params) {
   if (method == "lint") return prepare_lint(params);
   if (method == "replay") return prepare_replay(params);
   if (method == "advise") return prepare_advise(params);
+  if (method == "advise.synthesize") return prepare_synthesize(params);
   throw ServeError(ErrorCode::kUnknownMethod,
                    "unknown method '" + method +
-                       "' (certify, lint, replay, advise, stats, ping, "
-                       "shutdown)");
+                       "' (certify, lint, replay, advise, "
+                       "advise.synthesize, stats, ping, shutdown)");
 }
 
 }  // namespace rapsim::serve

@@ -1,12 +1,17 @@
-// The four worker-pool method families of the serve protocol, each a
+// The five worker-pool method families of the serve protocol, each a
 // PURE function of its params:
 //
 //   certify   analyze::prove_worst_warp over explicit warp address lists
 //   lint      analyze::lint_kernel over kernel IR text (the rapsim-lint
 //             text format)
 //   replay    replay::replay_trace of an inline trace (or a server-side
-//             trace file) under one scheme draw
+//             trace file) under one scheme draw — or, with params.map, a
+//             synthesized permute-shift spec (analyze/synth.hpp)
 //   advise    access::evaluate_kernel / evaluate_schemes scheme scoring
+//   advise.synthesize
+//             analyze::synthesize_mapping over kernel IR text: the full
+//             layout-compiler search, returning the winning mapping spec,
+//             its congestion certificate and the optimality witness
 //
 // prepare_method() validates params on the CALLER's thread (cheap,
 // throws ServeError(kBadRequest) with a field-naming message) and

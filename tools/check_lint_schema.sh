@@ -7,8 +7,11 @@
 # the emitted document parses and carries every key downstream consumers
 # (run_all.sh analysis drops, editor integrations) rely on — including at
 # least one warning diagnostic with fix-its (the naive stride transpose
-# must be flagged). Registered as the ctest entry `lint_schema` with
-# SKIP_RETURN_CODE 77: a host without python3 skips rather than fails.
+# must be flagged). A second run adds --synthesize and validates the
+# report-level "synthesis" block (mapping spec, certificate, optimality
+# witness) plus the SYNTHESIZE fix-it it feeds. Registered as the ctest
+# entry `lint_schema` with SKIP_RETURN_CODE 77: a host without python3
+# skips rather than fails.
 
 set -euo pipefail
 
@@ -80,4 +83,58 @@ require("transpose-CRSW" in kernels, "built-in catalog includes the CRSW "
         "transpose")
 print(f"lint schema OK: {len(reports)} kernel reports, "
       f"{warnings_with_fixits} warnings with fix-its")
+EOF
+
+# Second pass: the synthesis block. The CRSW transpose under RAW warns at
+# bound w, and the family search must certify bound 1, so the report
+# gains both the "synthesis" object and a SYNTHESIZE fix-it.
+SYNTH_DOC="$(json_schema_tmpfile)"
+"$BIN" --kernel=transpose-CRSW --width=16 --scheme=raw --synthesize \
+  --format=json --fail-on=never > "$SYNTH_DOC"
+
+json_schema_validate "$SYNTH_DOC" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"lint synthesis schema violation: {what}")
+
+reports = doc.get("reports")
+require(isinstance(reports, list) and len(reports) == 1,
+        "one report for --kernel")
+report = reports[0]
+
+synth = report.get("synthesis")
+require(isinstance(synth, dict), "report has a 'synthesis' object")
+for key in ("kernel", "width", "rows", "mapping", "certificate", "witness",
+            "coverage", "classes", "candidates", "site_bounds",
+            "witness_site", "witness_trace", "baseline"):
+    require(key in synth, f"synthesis has '{key}'")
+mapping = synth["mapping"]
+for key in ("spec", "transform", "digits", "tables"):
+    require(key in mapping, f"synthesis.mapping has '{key}'")
+require(mapping["spec"].startswith("ps1:"), "mapping spec carries the magic")
+cert = synth["certificate"]
+for key in ("scheme", "kind", "bound", "rule", "claim"):
+    require(key in cert, f"synthesis.certificate has '{key}'")
+require(cert["scheme"] == "SYNTH", "certificate scheme is SYNTH")
+witness = synth["witness"]
+for key in ("kind", "lower_bound", "reason", "detail", "family_size",
+            "evaluated", "pruned"):
+    require(key in witness, f"synthesis.witness has '{key}'")
+require(cert["bound"] == 1, "CRSW synthesizes to bound 1")
+require(witness["kind"] == "global-optimal", "bound 1 is global-optimal")
+
+synth_fixits = [f for d in report["diagnostics"] for f in d["fixits"]
+                if f["action"] == "SYNTHESIZE"]
+require(synth_fixits, "a SYNTHESIZE fix-it is emitted")
+require(mapping["spec"] in synth_fixits[0]["detail"],
+        "the fix-it quotes the synthesized spec")
+print(f"lint synthesis schema OK: bound {cert['bound']}, "
+      f"witness {witness['kind']}/{witness['reason']}, "
+      f"{len(synth_fixits)} SYNTHESIZE fix-its")
 EOF

@@ -73,6 +73,10 @@ rpc replay --trace="$HERE/../examples/contiguous_stride.trace" \
     --scheme=raw > "$WORK/replay.json"
 rpc advise --addresses="0,16,32" --rows=4 --width=16 --draws=4 \
     > "$WORK/advise.json"
+rpc synthesize --file="$HERE/../examples/naive_transpose.kernel" \
+    --draws=8 --id=synth-cold > "$WORK/synth_cold.json"
+rpc synthesize --file="$HERE/../examples/naive_transpose.kernel" \
+    --draws=8 --id=synth-warm > "$WORK/synth_warm.json"
 rpc stats > "$WORK/stats.json"
 "$CLIENT" raw '{"id":1,"method":"no-such-method"}' --socket="$SOCK" \
     > "$WORK/error.json"
@@ -146,6 +150,26 @@ for key in ("scores", "recommended", "rationale"):
 require(len(advise_doc["result"]["scores"]) == 4,
         "advise scores cover all four schemes")
 
+synth_doc, synth_body = check_success(load("synth_cold.json"),
+                                      "synth_cold", "advise.synthesize")
+synth = synth_doc["result"]
+for key in ("kernel", "width", "rows", "mapping", "certificate", "witness",
+            "coverage", "classes", "candidates", "site_bounds",
+            "witness_trace", "baseline"):
+    require(key in synth, f"advise.synthesize result has '{key}'")
+for key in ("spec", "transform", "digits", "tables"):
+    require(key in synth["mapping"], f"synthesize mapping has '{key}'")
+require(synth["certificate"]["scheme"] == "SYNTH",
+        "synthesize certificate scheme is SYNTH")
+for key in ("kind", "lower_bound", "reason", "family_size"):
+    require(key in synth["witness"], f"synthesize witness has '{key}'")
+warm_synth_doc, warm_synth_body = check_success(
+    load("synth_warm.json"), "synth_warm", "advise.synthesize")
+require(warm_synth_doc["cached"] is True,
+        "repeated advise.synthesize is cached (identity-keyed)")
+require(synth_body == warm_synth_body,
+        "advise.synthesize: cached result body is byte-identical")
+
 stats_doc, _ = check_success(load("stats.json"), "stats", "stats")
 require(stats_doc["cached"] is False,
         "stats is control-plane: never served from the cache")
@@ -179,7 +203,8 @@ def check_registry(registry, name):
                 f"{name}: serve.requests labelled by method and status")
     methods = {c["labels"]["method"] for c in requests
                if c["labels"]["status"] == "ok"}
-    require({"certify", "lint", "replay", "advise"} <= methods,
+    require({"certify", "lint", "replay", "advise",
+             "advise.synthesize"} <= methods,
             f"{name}: every pool method counted ok, got {sorted(methods)}")
     latency = [d for d in registry.get("distributions", [])
                if d["name"] == "serve.latency_us"]

@@ -10,7 +10,9 @@
 //   rapsim-client certify --addresses="0,1;0,32" --memory=2048
 //   rapsim-client lint --file=examples/naive_transpose.kernel --scheme=raw
 //   rapsim-client replay --trace=trace.rat --scheme=ras --seed=7
+//   rapsim-client replay --trace=trace.rat --map="ps1:rot:w=32:..."
 //   rapsim-client advise --file=k.kernel --draws=64
+//   rapsim-client synthesize --file=k.kernel --draws=48 --digits=2
 //   rapsim-client raw '{"method":"ping"}'
 //   rapsim-client shutdown
 //
@@ -104,7 +106,20 @@ std::string build_params(const std::string& method,
     if (const auto latency = args.get("latency")) {
       json.kv("latency", args.get_uint("latency", 1));
     }
+    if (const auto map = args.get("map")) {
+      json.kv("map", std::string_view(*map));
+    }
     if (args.get_bool("certify", false)) json.kv("certify", true);
+  } else if (method == "synthesize") {
+    const auto file = args.get("file");
+    if (!file) throw std::invalid_argument("synthesize needs --file=KERNEL");
+    json.kv("kernel", std::string_view(read_file(*file)));
+    if (const auto draws = args.get("draws")) {
+      json.kv("draws", args.get_uint("draws", 48));
+    }
+    if (const auto digits = args.get("digits")) {
+      json.kv("digits", args.get_uint("digits", 3));
+    }
   } else if (method == "advise") {
     if (const auto draws = args.get("draws")) {
       json.kv("draws", args.get_uint("draws", 32));
@@ -132,6 +147,7 @@ int usage() {
   std::cerr
       << "usage: rapsim-client SUBCOMMAND [flags]\n"
          "  subcommands: ping stats shutdown certify lint replay advise\n"
+         "               synthesize (-> advise.synthesize)\n"
          "               raw '<request json>'\n"
          "  transport:   --socket=PATH | --tcp-port=N [--tcp-host=H]\n"
          "  envelope:    --deadline-ms=N --id=STRING --verbose\n";
@@ -166,15 +182,19 @@ int main(int argc, char** argv) {
     const bool known =
         method == "ping" || method == "stats" || method == "shutdown" ||
         method == "certify" || method == "lint" || method == "replay" ||
-        method == "advise";
+        method == "advise" || method == "synthesize";
     if (!known) return usage();
 
     serve::CallOptions options;
     options.deadline_ms = args.get_uint("deadline-ms", 0);
     options.id = args.get_string("id", "");
 
+    // The CLI spells the method "synthesize"; on the wire it is the
+    // advise.synthesize pool method.
+    const std::string wire_method =
+        method == "synthesize" ? "advise.synthesize" : method;
     const serve::ClientResponse response =
-        client.call(method, build_params(method, args), options);
+        client.call(wire_method, build_params(method, args), options);
     if (args.get_bool("verbose", false)) {
       std::cout << response.raw << "\n";
     } else if (response.ok) {

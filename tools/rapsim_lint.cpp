@@ -7,10 +7,18 @@
 // reports diagnostics with fix-it suggestions.
 //
 //   rapsim-lint                          # lint every built-in at w=32, RAW
-//   rapsim-lint --list                   # catalog names
+//   rapsim-lint --list-kernels           # catalog names (alias: --list)
 //   rapsim-lint --kernel=transpose-CRSW --scheme=rap
 //   rapsim-lint --file=examples/naive_transpose.kernel --format=json
 //   rapsim-lint --width=64 --fail-on=warning
+//   rapsim-lint --kernel=transpose-CRSW --synthesize
+//
+// --synthesize runs the layout synthesizer (analyze/synth.hpp) on every
+// linted kernel: warnings gain a SYNTHESIZE fix-it when the synthesized
+// permute-shift mapping provably beats the site's bound, and the full
+// SynthesisResult (mapping spec, certificate, optimality witness) is
+// attached to each report ("synthesis" block in JSON). --synth-draws and
+// --synth-seed tune the random corner of the search.
 //
 // Exit status: 0 when no diagnostic reaches --fail-on (error|warning|
 // never; default error), 1 otherwise, 2 on usage errors.
@@ -63,17 +71,24 @@ int main(int argc, char** argv) {
           "--fail-on must be error, warning or never");
     }
 
-    if (args.get_bool("list", false)) {
+    if (args.get_bool("list", false) ||
+        args.get_bool("list-kernels", false)) {
       for (const auto& kernel : tools::builtin_kernels(width)) {
         std::cout << kernel.name << "\n";
       }
       return 0;
     }
 
+    analyze::LintOptions options;
+    options.synthesize = args.get_bool("synthesize", false);
+    options.synth.random_draws = args.get_uint("synth-draws", 48);
+    options.synth.seed = args.get_uint("synth-seed", 1);
+
     std::vector<analyze::KernelDesc> kernels;
     if (const auto file = args.get("file")) {
       kernels.push_back(analyze::parse_kernel_text(read_file(*file), width));
     } else if (const auto name = args.get("kernel")) {
+      // builtin_kernel's unknown-name error enumerates the catalog.
       kernels.push_back(tools::builtin_kernel(*name, width));
     } else {
       kernels = tools::builtin_kernels(width);
@@ -82,7 +97,7 @@ int main(int argc, char** argv) {
     std::vector<analyze::LintReport> reports;
     reports.reserve(kernels.size());
     for (const auto& kernel : kernels) {
-      reports.push_back(analyze::lint_kernel(kernel, scheme));
+      reports.push_back(analyze::lint_kernel(kernel, scheme, options));
     }
 
     std::ostringstream out;

@@ -15,6 +15,10 @@
 //                     [--latency=1] [--certify] [--format=json]
 //             --certify attaches the static analyzer's worst-warp
 //             congestion certificate for the trace's address streams.
+//             --map=SPEC (or --map-file=PATH) replays under a synthesized
+//             permute-shift mapping from rapsim-lint --synthesize /
+//             advise.synthesize instead of a named scheme — the way a
+//             certified bound is confirmed on the full DMM.
 //
 //   campaign  fan a (trace x scheme) grid across worker shards, caching
 //             finished cells under --results so a killed campaign
@@ -32,11 +36,15 @@
 //         examples/same_bank_adversary.trace --schemes=raw,rap --trials=8
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analyze/synth.hpp"
 #include "core/factory.hpp"
 #include "dmm/machine.hpp"
 #include "replay/campaign.hpp"
@@ -50,11 +58,20 @@ namespace {
 
 using namespace rapsim;
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s capture --workload=NAME [--width=W] [--latency=L] "
                "[--encoding=text|binary] [--out=PATH]\n"
-               "       %s replay TRACE [--scheme=S] [--seed=N] [--latency=L] "
+               "       %s replay TRACE [--scheme=S | --map=SPEC | "
+               "--map-file=PATH] [--seed=N] [--latency=L] "
                "[--certify] [--format=json]\n"
                "       %s campaign TRACE... [--schemes=LIST] [--trials=N] "
                "[--seed=N] [--latency=L] [--widths=LIST] [--results=DIR]\n",
@@ -143,11 +160,46 @@ int cmd_replay(const util::CliArgs& args, const std::string& path) {
       static_cast<std::uint32_t>(args.get_uint("latency", 1));
   const bool certify = args.get_bool("certify", false);
 
+  // --map=SPEC / --map-file=PATH: replay under a synthesized permute-shift
+  // mapping (analyze/synth.hpp spec format) instead of a named scheme.
+  std::optional<analyze::SynthMapping> synth_mapping;
+  {
+    const auto spec = args.get("map");
+    const auto spec_file = args.get("map-file");
+    if (spec && spec_file) {
+      throw std::invalid_argument("--map and --map-file are exclusive");
+    }
+    if (spec || spec_file) {
+      if (args.get("scheme")) {
+        throw std::invalid_argument("--map and --scheme are exclusive");
+      }
+      if (certify) {
+        throw std::invalid_argument(
+            "--certify is not supported with --map (the spec carries its "
+            "own certificate from synthesis)");
+      }
+      std::string text = spec ? *spec : read_text_file(*spec_file);
+      // A spec file may end with a trailing newline; strip it.
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+      synth_mapping = analyze::SynthMapping::parse_spec(text);
+    }
+  }
+
   const replay::AccessTrace trace = replay::load_trace(path);
   trace.validate();
   const std::uint32_t width = trace.header.width;
   const std::uint64_t rows = (trace.header.memory_size + width - 1) / width;
-  const auto map = core::make_matrix_map(*scheme, width, rows, seed);
+  if (synth_mapping && synth_mapping->width != width) {
+    throw std::invalid_argument(
+        "map width " + std::to_string(synth_mapping->width) +
+        " != trace width " + std::to_string(width));
+  }
+  const std::unique_ptr<core::AddressMap> map =
+      synth_mapping
+          ? analyze::make_synth_map(*synth_mapping, trace.header.memory_size)
+          : core::make_matrix_map(*scheme, width, rows, seed);
   replay::ReplayOptions options;
   options.latency = latency;
   const replay::ReplayResult result =
@@ -156,12 +208,16 @@ int cmd_replay(const util::CliArgs& args, const std::string& path) {
   std::optional<analyze::CongestionCertificate> certificate;
   if (certify) certificate = replay::certify_trace(trace, *scheme);
 
+  const char* effective_scheme = synth_mapping
+                                     ? core::scheme_name(core::Scheme::kSynth)
+                                     : core::scheme_name(*scheme);
   if (args.wants_json()) {
     telemetry::JsonWriter json;
     json.begin_object();
     json.kv("schema_version", 1);
     json.kv("trace", std::string_view(path));
-    json.kv("scheme", core::scheme_name(*scheme));
+    json.kv("scheme", effective_scheme);
+    if (synth_mapping) json.kv("map", synth_mapping->spec());
     json.kv("width", static_cast<std::uint64_t>(width));
     json.kv("latency", static_cast<std::uint64_t>(latency));
     json.kv("seed", seed);
@@ -182,8 +238,11 @@ int cmd_replay(const util::CliArgs& args, const std::string& path) {
   std::printf("trace      %s (hash %016llx)\n", path.c_str(),
               static_cast<unsigned long long>(replay::content_hash(trace)));
   std::printf("scheme     %s   width %u   latency %u   seed %llu\n",
-              core::scheme_name(*scheme), width, latency,
+              effective_scheme, width, latency,
               static_cast<unsigned long long>(seed));
+  if (synth_mapping) {
+    std::printf("map        %s\n", synth_mapping->spec().c_str());
+  }
   std::printf("time       %llu\n",
               static_cast<unsigned long long>(result.stats.time));
   std::printf("slots      %llu\n",

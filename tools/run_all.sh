@@ -106,10 +106,12 @@ mkdir -p results/bench
   --bench-json=results/bench/BENCH_trace_replay.json --quick
 "$BUILD_DIR"/bench/ext_serve_throughput \
   --bench-json=results/bench/BENCH_serve.json --quick
+"$BUILD_DIR"/bench/ext_synthesis \
+  --bench-json=results/bench/BENCH_synth.json --quick
 tools/check_bench_schema.sh "$BUILD_DIR"/bench/theorem2_bound_sweep \
   || [ $? -eq 77 ]
 COMPARE="$BUILD_DIR/tools/bench_compare"
-for baseline in BENCH_table2.json BENCH_serve.json; do
+for baseline in BENCH_table2.json BENCH_serve.json BENCH_synth.json; do
   [ -f "$baseline" ] || continue
   "$COMPARE" "$baseline" "results/bench/$baseline" \
     || echo "bench_compare: $baseline moved past the threshold (see above)"
@@ -123,6 +125,15 @@ LINT="$BUILD_DIR/tools/rapsim-lint"
     --out="results/analysis/lint_${kernel}.json"
 done
 tools/check_lint_schema.sh "$LINT"
+
+echo "=== layout synthesis -> results/analysis/ ==="
+# Full search per catalog kernel: the JSON report gains a "synthesis"
+# block (winning spec, certificate, optimality witness) and SYNTHESIZE
+# fix-its on every warning a family member can beat.
+"$LINT" --list | while read -r kernel; do
+  "$LINT" --kernel="$kernel" --synthesize --format=json --fail-on=never \
+    --out="results/analysis/synth_${kernel}.json"
+done
 
 echo "done: $(ls results | wc -l) experiment reports in results/," \
      "$(ls results/metrics | wc -l) metric files in results/metrics/," \
