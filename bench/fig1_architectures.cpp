@@ -29,7 +29,7 @@ int main() {
   core::RawMap map(kWidth, kWidth);
   // A warp reading one cell per row AND per bank (the diagonal): the
   // defining workload that separates the two machines.
-  dmm::Kernel kernel{kWidth, {}};
+  dmm::Kernel kernel{kWidth, {}, {}};
   dmm::Instruction instr(kWidth);
   for (std::uint32_t t = 0; t < kWidth; ++t) {
     instr[t] = dmm::ThreadOp::load(static_cast<std::uint64_t>(t) * kWidth + t);

@@ -57,6 +57,18 @@ std::uint64_t KernelDesc::binding_count() const noexcept {
   return total;
 }
 
+std::size_t KernelDesc::site_phase(std::size_t s) const noexcept {
+  std::size_t phase = 0;
+  for (const std::size_t b : barriers) {
+    if (b <= s) ++phase;
+  }
+  return phase;
+}
+
+std::size_t KernelDesc::num_phases() const noexcept {
+  return barriers.size() + 1;
+}
+
 std::vector<std::string> validate_kernel(const KernelDesc& kernel) {
   std::vector<std::string> errors;
   const auto fail = [&](const std::string& what) { errors.push_back(what); };
@@ -74,10 +86,19 @@ std::vector<std::string> validate_kernel(const KernelDesc& kernel) {
     if (var.count == 0) fail("variable '" + var.name + "' has zero range");
   }
   if (kernel.sites.empty()) fail("kernel has no access sites");
+  std::unordered_set<std::string> site_names;
   for (const AccessSite& site : kernel.sites) {
     const std::string where = "site '" + site.name + "': ";
+    if (!site_names.insert(site.name).second) {
+      fail("duplicate site '" + site.name + "'");
+    }
     if (site.lanes > kernel.width) {
       fail(where + "active lanes exceed the warp width");
+    }
+    if (!site.warp.empty() &&
+        kernel.var_index(site.warp) == kernel.vars.size()) {
+      fail(where + "warp attribute names unknown variable '" + site.warp +
+           "'");
     }
     const auto check_expr = [&](const AffineExpr& expr, const char* which) {
       if (expr.coeffs.size() > kernel.vars.size()) {
@@ -96,6 +117,15 @@ std::vector<std::string> validate_kernel(const KernelDesc& kernel) {
       case IndexForm::kOpaque:
         if (!site.opaque) fail(where + "opaque site has no callback");
         break;
+    }
+  }
+  for (std::size_t b = 0; b < kernel.barriers.size(); ++b) {
+    if (kernel.barriers[b] > kernel.sites.size()) {
+      fail("barrier position " + std::to_string(kernel.barriers[b]) +
+           " is past the last site");
+    }
+    if (b > 0 && kernel.barriers[b] < kernel.barriers[b - 1]) {
+      fail("barrier positions are not sorted");
     }
   }
   return errors;
@@ -230,12 +260,33 @@ KernelDesc parse_kernel_text(const std::string& text,
       kernel.vars.push_back(
           {tokens[1],
            static_cast<std::uint64_t>(parse_int(tokens[2], line_no))});
+    } else if (head == "barrier") {
+      if (tokens.size() != 1) {
+        parse_fail(line_no, "barrier takes no arguments");
+      }
+      kernel.barriers.push_back(kernel.sites.size());
     } else if (head == "site") {
       if (tokens.size() < 4) {
         parse_fail(line_no, "site <name> <load|store|atomic> <flat|row> ...");
       }
       AccessSite site;
       site.name = tokens[1];
+      // The warp attribute's value is a variable NAME, so pull it out
+      // before parse_terms (which reads integer values only).
+      for (std::size_t t = 4; t < tokens.size();) {
+        if (tokens[t].rfind("warp=", 0) == 0) {
+          if (!site.warp.empty()) {
+            parse_fail(line_no, "duplicate 'warp' attribute");
+          }
+          site.warp = tokens[t].substr(5);
+          if (kernel.var_index(site.warp) == kernel.vars.size()) {
+            parse_fail(line_no, "unknown warp variable '" + site.warp + "'");
+          }
+          tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(t));
+        } else {
+          ++t;
+        }
+      }
       if (tokens[2] == "load") {
         site.dir = AccessDir::kLoad;
       } else if (tokens[2] == "store") {

@@ -19,6 +19,15 @@
 //   kOpaque  an arbitrary callback (lane, binding) -> address, analyzed by
 //            bounded enumeration (bitonic's bit-twiddled pair indexing)
 //
+// PROGRAM ORDER (the race verifier's input, DESIGN.md §14): sites are an
+// ordered statement list, and `barriers` marks the __syncthreads()
+// positions between them. site_phase(s) counts the barriers at or before
+// site s; two sites can only race when they share a phase. Which warp
+// executes an instance is named per site: AccessSite::warp holds the
+// loop variable that enumerates the executing warps (empty = the whole
+// site runs in one warp), so the happens-before pass can distinguish
+// cross-warp overlap (a race) from same-warp reuse (program order).
+//
 // A simple line-based text format (parse_kernel_text) lets users lint
 // their own kernels without writing C++; the built-in kernels in
 // tools/builtin_kernels.cpp are constructed directly.
@@ -79,6 +88,11 @@ struct AccessSite {
   AccessDir dir = AccessDir::kLoad;
   IndexForm form = IndexForm::kFlat;
   std::uint32_t lanes = 0;       // active lanes per warp; 0 = full width
+  /// Loop variable enumerating the warps that execute this site (its
+  /// value IS the warp id), or empty when a single warp (id 0) runs
+  /// every instance. Only the race pass consumes this — congestion is a
+  /// per-warp-instruction property and never compares executors.
+  std::string warp;
 
   AffineExpr flat;               // kFlat: the logical address
 
@@ -91,15 +105,20 @@ struct AccessSite {
 };
 
 /// A kernel: geometry (memory = rows x width, row-major), bound loop
-/// variables, and the access sites. Sites are analyzed independently —
-/// congestion is a per-warp-instruction property, so inter-site ordering
-/// carries no information the passes need.
+/// variables, and the access sites in PROGRAM ORDER. The congestion
+/// passes analyze sites independently (congestion is a per-warp-
+/// instruction property); the race pass (analyze/race.hpp) additionally
+/// consumes the order and the barrier positions.
 struct KernelDesc {
   std::string name;
   std::uint32_t width = 32;      // banks / lanes per warp (the paper's w)
   std::uint64_t rows = 0;        // memory words = rows * width
   std::vector<LoopVar> vars;
   std::vector<AccessSite> sites;
+  /// Barrier positions: value b means a block-wide barrier between
+  /// sites[b-1] and sites[b] (b = 0 before the first site is legal but
+  /// vacuous). Kept sorted; positions run over [0, sites.size()].
+  std::vector<std::size_t> barriers;
 
   [[nodiscard]] std::uint64_t size() const noexcept {
     return rows * width;
@@ -108,12 +127,23 @@ struct KernelDesc {
   [[nodiscard]] std::size_t var_index(std::string_view name) const noexcept;
   /// Total number of bindings (product of the trip counts; saturates).
   [[nodiscard]] std::uint64_t binding_count() const noexcept;
+
+  /// Record a barrier after the sites pushed so far (descriptor-builder
+  /// convenience, mirroring dmm::Kernel::push_barrier()).
+  void add_barrier() { barriers.push_back(sites.size()); }
+  /// Barrier interval of site `s`: the number of barriers at positions
+  /// <= s. Sites race only within one phase.
+  [[nodiscard]] std::size_t site_phase(std::size_t s) const noexcept;
+  /// Total number of barrier intervals (barriers.size() + 1 when valid).
+  [[nodiscard]] std::size_t num_phases() const noexcept;
 };
 
 /// Structural validation: positive geometry, lanes <= width, distinct var
-/// names, non-zero trip counts, coefficient vectors no longer than vars,
-/// opaque sites carrying a callback. Returns every violation (empty =
-/// valid); the passes throw std::invalid_argument on the first one.
+/// and site names, non-zero trip counts, coefficient vectors no longer
+/// than vars, opaque sites carrying a callback, warp attributes naming a
+/// declared variable, and sorted in-range barrier positions. Returns
+/// every violation (empty = valid); the passes throw
+/// std::invalid_argument on the first one.
 [[nodiscard]] std::vector<std::string> validate_kernel(
     const KernelDesc& kernel);
 
@@ -130,12 +160,16 @@ struct KernelDesc {
 ///   width 32            # optional; defaults to `default_width`
 ///   rows 64
 ///   var u 32
-///   site read-a  load  flat lane=1 u=32
-///   site write-b store flat lane=32 u=1 const=1024
+///   site read-a  load  flat lane=1 u=32 warp=u
+///   barrier             # __syncthreads() between the two sites
+///   site write-b store flat lane=32 u=1 const=1024 warp=u
 ///   site write-d store row lane=1 u=1 mod=32 base=32 col lane=1
 ///
-/// Comments run from '#' to end of line. Throws std::invalid_argument
-/// with a line number on malformed input.
+/// `warp=<var>` names the loop variable that enumerates the executing
+/// warps (race analysis); a bare `barrier` line records a block-wide
+/// barrier between the surrounding sites. Comments run from '#' to end
+/// of line. Throws std::invalid_argument with a line number on
+/// malformed input.
 [[nodiscard]] KernelDesc parse_kernel_text(const std::string& text,
                                            std::uint32_t default_width = 32);
 

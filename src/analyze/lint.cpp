@@ -128,6 +128,68 @@ void try_synth_fixit(const SynthesisResult& synthesis, std::size_t site_index,
   fixits.push_back({"SYNTHESIZE", detail.str()});
 }
 
+/// Would a barrier at `pos` still leave `finding`'s pair in one phase?
+bool pair_races(const RaceAnalysis& analysis, std::size_t first_site,
+                std::size_t second_site) {
+  for (const RaceFinding& f : analysis.findings) {
+    if (f.first.site_index == first_site &&
+        f.second.site_index == second_site) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// INSERT-BARRIER fix-it: place a __syncthreads() directly before the
+/// second site of the racing pair and re-run the happens-before pass.
+/// Suggested only when the re-analysis PROVES the pair stops racing —
+/// the detail says whether the whole kernel becomes certified race-free
+/// or other pairs still race. A site racing with itself across warps
+/// has no separating position, so no fix-it is offered.
+std::vector<FixIt> try_barrier_fixit(const KernelDesc& kernel,
+                                     const RaceFinding& finding) {
+  std::vector<FixIt> fixits;
+  const std::size_t i = finding.first.site_index;
+  const std::size_t j = finding.second.site_index;
+  if (i == j) return fixits;
+
+  KernelDesc repaired = kernel;
+  repaired.barriers.push_back(j);  // any position in (i, j] separates them
+  std::sort(repaired.barriers.begin(), repaired.barriers.end());
+  RaceAnalysis re = analyze_races(repaired);
+  if (pair_races(re, i, j)) return fixits;
+
+  std::ostringstream detail;
+  detail << "insert __syncthreads() before site '" << finding.second.site
+         << "' (barrier position " << j << "): ";
+  if (re.race_free()) {
+    detail << "re-analysis certifies the kernel race-free ("
+           << re.pairs_checked << " pair(s) proven disjoint)";
+  } else if (re.findings.empty()) {
+    detail << "the pair stops racing and no other race is found (analysis "
+           << "not exhaustive: no certificate)";
+  } else {
+    detail << "the pair stops racing; " << re.findings.size()
+           << " other finding(s) remain";
+  }
+  fixits.push_back({"INSERT-BARRIER", detail.str()});
+  return fixits;
+}
+
+void race_access_json(telemetry::JsonWriter& json, const RaceAccess& access) {
+  json.begin_object();
+  json.kv("site", access.site);
+  json.kv("dir", access_dir_name(access.dir));
+  json.kv("lane", static_cast<std::uint64_t>(access.lane));
+  json.kv("warp", access.warp);
+  json.kv("address", access.address);
+  json.key("binding");
+  json.begin_object();
+  for (const auto& [name, value] : access.binding) json.kv(name, value);
+  json.end_object();
+  json.end_object();
+}
+
 }  // namespace
 
 const char* severity_name(Severity severity) noexcept {
@@ -145,6 +207,7 @@ bool LintReport::clean() const noexcept {
 
 Severity LintReport::severity() const noexcept {
   Severity top = Severity::kInfo;
+  if (races && !races->findings.empty()) top = Severity::kError;
   for (const Diagnostic& diag : diagnostics) {
     if (static_cast<int>(diag.severity) > static_cast<int>(top)) {
       top = diag.severity;
@@ -172,6 +235,14 @@ LintReport lint_kernel(const KernelDesc& kernel, core::Scheme scheme,
   if (options.synthesize && !analysis.any_out_of_bounds &&
       !kernel.sites.empty() && kernel.width <= 64) {
     report.synthesis = synthesize_mapping(kernel, options.synth);
+  }
+
+  if (options.races) {
+    report.races = analyze_races(kernel);
+    report.race_fixits.reserve(report.races->findings.size());
+    for (const RaceFinding& finding : report.races->findings) {
+      report.race_fixits.push_back(try_barrier_fixit(kernel, finding));
+    }
   }
 
   for (std::size_t s = 0; s < analysis.sites.size(); ++s) {
@@ -272,6 +343,46 @@ std::string lint_report_json(const LintReport& report) {
     json.end_object();
   }
   json.end_array();
+  if (report.races) {
+    const RaceAnalysis& races = *report.races;
+    json.key("races");
+    json.begin_object();
+    json.kv("phases", static_cast<std::uint64_t>(races.phases));
+    json.kv("pairs_checked", races.pairs_checked);
+    json.kv("exhaustive", races.exhaustive);
+    json.kv("race_free", races.race_free());
+    json.key("findings");
+    json.begin_array();
+    for (std::size_t f = 0; f < races.findings.size(); ++f) {
+      const RaceFinding& finding = races.findings[f];
+      json.begin_object();
+      json.kv("kind", race_kind_name(finding.kind));
+      json.kv("phase", static_cast<std::uint64_t>(finding.phase));
+      json.kv("detail", finding.detail);
+      json.key("first");
+      race_access_json(json, finding.first);
+      json.key("second");
+      race_access_json(json, finding.second);
+      json.key("fixits");
+      json.begin_array();
+      if (f < report.race_fixits.size()) {
+        for (const FixIt& fixit : report.race_fixits[f]) {
+          json.begin_object();
+          json.kv("action", fixit.action);
+          json.kv("detail", fixit.detail);
+          json.end_object();
+        }
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    if (races.certificate) {
+      json.key("certificate");
+      json.raw_value(races.certificate->to_json());
+    }
+    json.end_object();
+  }
   if (report.synthesis) {
     json.key("synthesis");
     json.raw_value(report.synthesis->to_json());
@@ -293,6 +404,25 @@ std::string lint_report_text(const LintReport& report) {
     for (const FixIt& fixit : diag.fixits) {
       out << "      fix-it: " << fixit.action << " — " << fixit.detail
           << "\n";
+    }
+  }
+  if (report.races) {
+    const RaceAnalysis& races = *report.races;
+    if (races.race_free()) {
+      out << "  races: none — certified over " << races.pairs_checked
+          << " conflicting pair(s) across " << races.phases << " phase(s)\n";
+    } else if (races.findings.empty()) {
+      out << "  races: none found, but the analysis was not exhaustive ("
+          << races.pairs_checked << " pair(s) sampled)\n";
+    }
+    for (std::size_t f = 0; f < races.findings.size(); ++f) {
+      out << "  [error] " << races.findings[f].to_string() << "\n";
+      if (f < report.race_fixits.size()) {
+        for (const FixIt& fixit : report.race_fixits[f]) {
+          out << "      fix-it: " << fixit.action << " — " << fixit.detail
+              << "\n";
+        }
+      }
     }
   }
   if (report.synthesis) {

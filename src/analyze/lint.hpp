@@ -50,6 +50,7 @@
 
 #include "analyze/kernelir.hpp"
 #include "analyze/passes.hpp"
+#include "analyze/race.hpp"
 #include "analyze/synth.hpp"
 
 namespace rapsim::analyze {
@@ -86,11 +87,22 @@ struct LintReport {
   /// Present when lint ran with LintOptions::synthesize (and the kernel
   /// was synthesizable — in bounds, width <= 64).
   std::optional<SynthesisResult> synthesis;
+  /// Race verdict from the happens-before pass (analyze/race.hpp):
+  /// present unless LintOptions::races was cleared. Every race finding
+  /// is an ERROR; races->certificate carries the machine-checkable
+  /// race-freedom proof when no pair can race.
+  std::optional<RaceAnalysis> races;
+  /// INSERT-BARRIER fix-its, aligned with races->findings. A fix-it is
+  /// only attached when re-analysis of the repaired kernel proves the
+  /// pair stops racing (and its detail says whether the whole kernel
+  /// becomes certified race-free).
+  std::vector<std::vector<FixIt>> race_fixits;
 
-  /// No warnings and no errors: the kernel is certified conflict-free
-  /// (or covered by an expected-value envelope) under its scheme.
+  /// No warnings, no errors, and no race findings: the kernel is
+  /// certified conflict-free (or covered by an expected-value envelope)
+  /// under its scheme.
   [[nodiscard]] bool clean() const noexcept;
-  /// Highest severity present.
+  /// Highest severity present (race findings count as errors).
   [[nodiscard]] Severity severity() const noexcept;
 };
 
@@ -99,6 +111,9 @@ struct LintOptions {
   /// SynthesisResult to the report.
   bool synthesize = false;
   SynthesisOptions synth;
+  /// Run the static race verifier and attach the races block (with
+  /// INSERT-BARRIER fix-its) to the report. On by default.
+  bool races = true;
 };
 
 /// Lint a kernel as running under `scheme`. Throws std::invalid_argument

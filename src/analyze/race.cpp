@@ -1,0 +1,786 @@
+#include "analyze/race.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "telemetry/json.hpp"
+
+namespace rapsim::analyze {
+
+namespace {
+
+constexpr std::size_t kNoVar = static_cast<std::size_t>(-1);
+
+// Budget caps. Exceeding any of them downgrades the pair (and hence the
+// kernel) to non-exhaustive: findings stay sound, certificates are not
+// claimed. The limits sit far above every catalog kernel.
+constexpr std::int64_t kHugeValue = std::int64_t{1} << 28;
+constexpr std::int64_t kWindowCap = std::int64_t{1} << 21;
+constexpr std::uint64_t kDpBudget = std::uint64_t{1} << 24;
+constexpr std::uint64_t kRaceEnumCap = std::uint64_t{1} << 16;
+constexpr std::uint64_t kJointCap = std::uint64_t{1} << 14;
+
+/// Resolved per-site geometry the pair decisions consume.
+struct SiteShape {
+  std::size_t index = 0;
+  const AccessSite* site = nullptr;
+  std::uint32_t lanes = 0;
+  std::size_t warp_var = kNoVar;  // kNoVar = single warp (id 0)
+  std::uint64_t warp_count = 1;
+};
+
+bool writes(AccessDir dir) noexcept { return dir != AccessDir::kLoad; }
+
+/// Conflicting = at least one side writes, excluding atomic-atomic pairs
+/// (the machine serializes same-cell atomics; their order commutes).
+bool conflicting(AccessDir a, AccessDir b) noexcept {
+  if (a == AccessDir::kAtomic && b == AccessDir::kAtomic) return false;
+  return writes(a) || writes(b);
+}
+
+RaceKind classify(AccessDir first, AccessDir second) noexcept {
+  if (writes(first) && writes(second)) return RaceKind::kWaw;
+  return writes(first) ? RaceKind::kRaw : RaceKind::kWar;
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// The sub-range of [xlo, xhi] whose contributions coeff*x land inside
+/// [cmin, cmax]. Returns an empty range (first > second) when none do.
+std::pair<std::int64_t, std::int64_t> clamp_domain(std::int64_t coeff,
+                                                   std::int64_t xlo,
+                                                   std::int64_t xhi,
+                                                   std::int64_t cmin,
+                                                   std::int64_t cmax) {
+  if (cmin > cmax || xlo > xhi) return {std::int64_t{1}, std::int64_t{0}};
+  if (coeff == 0) {
+    if (cmin <= 0 && 0 <= cmax) return {xlo, xhi};
+    return {std::int64_t{1}, std::int64_t{0}};
+  }
+  const std::int64_t lo =
+      coeff > 0 ? ceil_div(cmin, coeff) : ceil_div(cmax, coeff);
+  const std::int64_t hi =
+      coeff > 0 ? floor_div(cmax, coeff) : floor_div(cmin, coeff);
+  return {std::max(xlo, lo), std::min(xhi, hi)};
+}
+
+/// One layer of the reachability closure: a bitset over the window
+/// starting at `lo` (64 * bits.size() values).
+struct Layer {
+  std::int64_t lo = 0;
+  std::vector<std::uint64_t> bits;
+
+  [[nodiscard]] bool test(std::int64_t v) const {
+    if (v < lo) return false;
+    const std::uint64_t off = static_cast<std::uint64_t>(v - lo);
+    if ((off >> 6) >= bits.size()) return false;
+    return ((bits[off >> 6] >> (off & 63)) & 1) != 0;
+  }
+};
+
+/// dst |= src << shift (bit-level, shift >= 0), respecting offsets.
+void or_shift(Layer& dst, const Layer& src, std::uint64_t shift) {
+  const std::uint64_t words = shift >> 6;
+  const std::uint64_t rem = shift & 63;
+  for (std::size_t i = 0; i < src.bits.size(); ++i) {
+    const std::uint64_t w = src.bits[i];
+    if (w == 0) continue;
+    const std::size_t base = i + words;
+    if (base < dst.bits.size()) dst.bits[base] |= w << rem;
+    if (rem != 0 && base + 1 < dst.bits.size()) {
+      dst.bits[base + 1] |= w >> (64 - rem);
+    }
+  }
+}
+
+/// A difference-expression term. Simple terms contribute coeff*x with x
+/// ranging over one side's lane or one loop variable; the joint term
+/// contributes c1*g1 - c2*g2 over warp-id pairs with the cross-warp
+/// constraint g1 != g2 baked into its enumeration.
+struct Term {
+  bool joint = false;
+  // Simple:
+  std::int64_t coeff = 0;
+  std::int64_t xlo = 0, xhi = 0;  // full domain (inclusive)
+  std::size_t slot = kNoVar;      // var index; kNoVar = lane
+  bool first_side = true;
+  // Joint (warp-id pair):
+  std::int64_t c1 = 0, c2 = 0;
+  std::int64_t n1 = 1, n2 = 1;
+
+  [[nodiscard]] std::int64_t cmin() const {
+    if (joint) {
+      const std::int64_t a = c1 > 0 ? 0 : c1 * (n1 - 1);
+      const std::int64_t b = c2 > 0 ? c2 * (n2 - 1) : 0;
+      return a - b;
+    }
+    return coeff > 0 ? coeff * xlo : coeff * xhi;
+  }
+  [[nodiscard]] std::int64_t cmax() const {
+    if (joint) {
+      const std::int64_t a = c1 > 0 ? c1 * (n1 - 1) : 0;
+      const std::int64_t b = c2 > 0 ? 0 : c2 * (n2 - 1);
+      return a - b;
+    }
+    return coeff > 0 ? coeff * xhi : coeff * xlo;
+  }
+};
+
+/// Per-term enumeration for the closure, clamped to the contributions
+/// that can still cancel the rest (sound AND complete).
+struct TermEnum {
+  const Term* term = nullptr;
+  std::int64_t ylo = 0, yhi = 0;  // simple: x range
+  std::vector<std::array<std::int64_t, 3>> triples;  // joint: {c, g1, g2}
+  std::int64_t cmin = 0, cmax = 0;
+  [[nodiscard]] std::uint64_t count() const {
+    return term->joint ? triples.size()
+                       : static_cast<std::uint64_t>(yhi - ylo + 1);
+  }
+};
+
+enum class PairOutcome { kDisjoint, kRace, kUndecided };
+
+struct PairDecision {
+  PairOutcome outcome = PairOutcome::kUndecided;
+  std::string rule;  // on kDisjoint
+  std::string detail;
+  // Witness (on kRace): one concrete instance per side.
+  std::uint32_t lane1 = 0, lane2 = 0;
+  std::uint64_t warp1 = 0, warp2 = 0;
+  std::vector<std::uint64_t> b1, b2;  // full bindings
+  std::uint64_t address = 0;
+};
+
+std::uint64_t warp_of(const SiteShape& s,
+                      std::span<const std::uint64_t> binding) {
+  return s.warp_var == kNoVar ? 0 : binding[s.warp_var];
+}
+
+/// Exact decision for a flat x flat pair: interval, residue, then the
+/// layered subset-sum closure over the difference values.
+PairDecision decide_flat(const KernelDesc& kernel, const SiteShape& sa,
+                         const SiteShape& sb) {
+  PairDecision out;
+  const AffineExpr& ea = sa.site->flat;
+  const AffineExpr& eb = sb.site->flat;
+
+  std::vector<Term> terms;
+  const auto add_simple = [&terms](std::int64_t coeff, std::int64_t xlo,
+                                   std::int64_t xhi, std::size_t slot,
+                                   bool first_side) {
+    if (coeff == 0 && xlo == 0) return;  // binding 0 is a valid default
+    Term t;
+    t.coeff = coeff;
+    t.xlo = xlo;
+    t.xhi = xhi;
+    t.slot = slot;
+    t.first_side = first_side;
+    terms.push_back(t);
+  };
+
+  add_simple(ea.lane_coeff, 0, static_cast<std::int64_t>(sa.lanes) - 1,
+             kNoVar, true);
+  add_simple(-eb.lane_coeff, 0, static_cast<std::int64_t>(sb.lanes) - 1,
+             kNoVar, false);
+  for (std::size_t v = 0; v < kernel.vars.size(); ++v) {
+    const std::int64_t n = static_cast<std::int64_t>(kernel.vars[v].count);
+    if (v != sa.warp_var) add_simple(ea.coeff(v), 0, n - 1, v, true);
+    if (v != sb.warp_var) add_simple(-eb.coeff(v), 0, n - 1, v, false);
+  }
+
+  // The warp layer carries the cross-warp (g1 != g2) constraint. When
+  // only one side is multi-warp, the other runs in warp 0, so the
+  // multi-warp side just needs warp id >= 1.
+  if (sa.warp_var != kNoVar && sb.warp_var != kNoVar) {
+    Term t;
+    t.joint = true;
+    t.c1 = ea.coeff(sa.warp_var);
+    t.c2 = eb.coeff(sb.warp_var);
+    t.n1 = static_cast<std::int64_t>(sa.warp_count);
+    t.n2 = static_cast<std::int64_t>(sb.warp_count);
+    terms.push_back(t);
+  } else if (sa.warp_var != kNoVar) {
+    add_simple(ea.coeff(sa.warp_var), 1,
+               static_cast<std::int64_t>(sa.warp_count) - 1, sa.warp_var,
+               true);
+  } else if (sb.warp_var != kNoVar) {
+    add_simple(-eb.coeff(sb.warp_var), 1,
+               static_cast<std::int64_t>(sb.warp_count) - 1, sb.warp_var,
+               false);
+  } else {
+    return out;  // both single-warp: the caller handles this rule
+  }
+
+  // Overflow guard for the interval arithmetic below.
+  if (std::llabs(ea.base) >= kHugeValue || std::llabs(eb.base) >= kHugeValue) {
+    return out;
+  }
+  for (const Term& t : terms) {
+    const std::int64_t span = t.joint ? std::max(t.n1, t.n2) : t.xhi + 1;
+    const std::int64_t mag = t.joint
+                                 ? std::max(std::llabs(t.c1), std::llabs(t.c2))
+                                 : std::llabs(t.coeff);
+    if (span >= kHugeValue || mag >= kHugeValue) return out;
+  }
+
+  const std::int64_t base = ea.base - eb.base;
+  std::int64_t lo = base;
+  std::int64_t hi = base;
+  for (const Term& t : terms) {
+    lo += t.cmin();
+    hi += t.cmax();
+  }
+  if (lo > 0 || hi < 0) {
+    out.outcome = PairOutcome::kDisjoint;
+    out.rule = "interval-disjoint";
+    std::ostringstream detail;
+    detail << "cross-warp address difference spans [" << lo << ", " << hi
+           << "], which excludes 0";
+    out.detail = detail.str();
+    return out;
+  }
+
+  std::int64_t g = 0;
+  for (const Term& t : terms) {
+    if (t.joint) {
+      g = std::gcd(g, std::gcd(std::llabs(t.c1), std::llabs(t.c2)));
+    } else {
+      g = std::gcd(g, std::llabs(t.coeff));
+    }
+  }
+  if (g != 0 && base % g != 0) {
+    out.outcome = PairOutcome::kDisjoint;
+    out.rule = "residue-disjoint";
+    std::ostringstream detail;
+    detail << "every address difference is congruent to " << base << " mod "
+           << g << ", never 0";
+    out.detail = detail.str();
+    return out;
+  }
+
+  // Exact reachability closure. Each term's domain is clamped to the
+  // contributions that can still cancel the other terms' full ranges —
+  // this preserves completeness, so "no-zero-sum" stays an exact proof.
+  const std::int64_t window = hi - lo + 1;
+  if (window > kWindowCap) return out;
+  const std::uint64_t words = (static_cast<std::uint64_t>(window) >> 6) + 2;
+
+  std::vector<TermEnum> enums;
+  enums.reserve(terms.size());
+  std::uint64_t work = 0;
+  for (const Term& t : terms) {
+    // rest = base + every other term; this term must contribute a value
+    // in [-(rest max), -(rest min)] for the total to reach 0.
+    const std::int64_t need_lo = -(hi - t.cmax());
+    const std::int64_t need_hi = -(lo - t.cmin());
+    TermEnum te;
+    te.term = &t;
+    if (!t.joint) {
+      auto [ylo, yhi] = clamp_domain(t.coeff, t.xlo, t.xhi, need_lo, need_hi);
+      if (ylo > yhi) {
+        out.outcome = PairOutcome::kDisjoint;
+        out.rule = "no-zero-sum";
+        out.detail =
+            "no admissible value of the difference expression reaches 0";
+        return out;
+      }
+      if (t.coeff == 0) yhi = ylo;  // contribution-constant: one rep
+      te.ylo = ylo;
+      te.yhi = yhi;
+      te.cmin = t.coeff > 0 ? t.coeff * ylo : t.coeff * yhi;
+      te.cmax = t.coeff > 0 ? t.coeff * yhi : t.coeff * ylo;
+    } else {
+      const auto push = [&te](std::int64_t c, std::int64_t g1,
+                              std::int64_t g2) {
+        te.triples.push_back({c, g1, g2});
+      };
+      if (t.c1 == 0 && t.c2 == 0) {
+        if (need_lo <= 0 && 0 <= need_hi) push(0, 0, 1);
+      } else if (t.c1 == 0) {
+        const auto [glo, ghi] =
+            clamp_domain(-t.c2, 0, t.n2 - 1, need_lo, need_hi);
+        if (ghi >= glo &&
+            static_cast<std::uint64_t>(ghi - glo + 1) > kJointCap) {
+          return out;
+        }
+        for (std::int64_t g2 = glo; g2 <= ghi; ++g2) {
+          push(-t.c2 * g2, g2 == 0 ? 1 : 0, g2);
+        }
+      } else if (t.c2 == 0) {
+        const auto [glo, ghi] =
+            clamp_domain(t.c1, 0, t.n1 - 1, need_lo, need_hi);
+        if (ghi >= glo &&
+            static_cast<std::uint64_t>(ghi - glo + 1) > kJointCap) {
+          return out;
+        }
+        for (std::int64_t g1 = glo; g1 <= ghi; ++g1) {
+          push(t.c1 * g1, g1, g1 == 0 ? 1 : 0);
+        }
+      } else {
+        const std::int64_t c2min = t.c2 > 0 ? 0 : t.c2 * (t.n2 - 1);
+        const std::int64_t c2max = t.c2 > 0 ? t.c2 * (t.n2 - 1) : 0;
+        const auto [g1lo, g1hi] = clamp_domain(t.c1, 0, t.n1 - 1,
+                                               need_lo + c2min,
+                                               need_hi + c2max);
+        for (std::int64_t g1 = g1lo; g1 <= g1hi; ++g1) {
+          const auto [g2lo, g2hi] =
+              clamp_domain(-t.c2, 0, t.n2 - 1, need_lo - t.c1 * g1,
+                           need_hi - t.c1 * g1);
+          for (std::int64_t g2 = g2lo; g2 <= g2hi; ++g2) {
+            if (g1 == g2) continue;
+            push(t.c1 * g1 - t.c2 * g2, g1, g2);
+            if (te.triples.size() > kJointCap) return out;
+          }
+        }
+      }
+      if (te.triples.empty()) {
+        out.outcome = PairOutcome::kDisjoint;
+        out.rule = "no-zero-sum";
+        out.detail =
+            "no pair of distinct warp ids can cancel the address "
+            "difference";
+        return out;
+      }
+      te.cmin = te.cmax = te.triples.front()[0];
+      for (const auto& tr : te.triples) {
+        te.cmin = std::min(te.cmin, tr[0]);
+        te.cmax = std::max(te.cmax, tr[0]);
+      }
+    }
+    work += te.count() * words;
+    if (work > kDpBudget) return out;
+    enums.push_back(std::move(te));
+  }
+
+  // Forward closure, one layer per term.
+  std::vector<Layer> layers(enums.size() + 1);
+  layers[0].lo = base;
+  layers[0].bits.assign(1, 1);  // the single value `base`
+  for (std::size_t t = 0; t < enums.size(); ++t) {
+    const TermEnum& te = enums[t];
+    const Layer& prev = layers[t];
+    Layer& next = layers[t + 1];
+    next.lo = prev.lo + te.cmin;
+    const std::uint64_t prev_width =
+        static_cast<std::uint64_t>(prev.bits.size()) * 64;
+    const std::uint64_t width =
+        prev_width + static_cast<std::uint64_t>(te.cmax - te.cmin);
+    next.bits.assign((width >> 6) + 1, 0);
+    if (te.term->joint) {
+      for (const auto& tr : te.triples) {
+        or_shift(next, prev, static_cast<std::uint64_t>(tr[0] - te.cmin));
+      }
+    } else {
+      for (std::int64_t x = te.ylo; x <= te.yhi; ++x) {
+        or_shift(next, prev,
+                 static_cast<std::uint64_t>(te.term->coeff * x - te.cmin));
+      }
+    }
+  }
+
+  if (!layers.back().test(0)) {
+    out.outcome = PairOutcome::kDisjoint;
+    out.rule = "no-zero-sum";
+    std::ostringstream detail;
+    detail << "exact reachability closure over " << enums.size()
+           << " difference terms never sums to 0";
+    out.detail = detail.str();
+    return out;
+  }
+
+  // Backtrack a concrete two-binding witness for total 0.
+  out.b1.assign(kernel.vars.size(), 0);
+  out.b2.assign(kernel.vars.size(), 0);
+  std::int64_t v = 0;
+  for (std::size_t t = enums.size(); t-- > 0;) {
+    const TermEnum& te = enums[t];
+    const Layer& prev = layers[t];
+    bool found = false;
+    if (te.term->joint) {
+      for (const auto& tr : te.triples) {
+        if (prev.test(v - tr[0])) {
+          out.b1[sa.warp_var] = static_cast<std::uint64_t>(tr[1]);
+          out.b2[sb.warp_var] = static_cast<std::uint64_t>(tr[2]);
+          v -= tr[0];
+          found = true;
+          break;
+        }
+      }
+    } else {
+      for (std::int64_t x = te.ylo; x <= te.yhi; ++x) {
+        const std::int64_t c = te.term->coeff * x;
+        if (prev.test(v - c)) {
+          const std::uint64_t ux = static_cast<std::uint64_t>(x);
+          if (te.term->slot == kNoVar) {
+            (te.term->first_side ? out.lane1 : out.lane2) =
+                static_cast<std::uint32_t>(ux);
+          } else {
+            (te.term->first_side ? out.b1 : out.b2)[te.term->slot] = ux;
+          }
+          v -= c;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return out;  // defensive: stay sound, fall to enumeration
+  }
+
+  // Cross-check the witness before reporting it.
+  const std::int64_t a1 = ea.eval(out.lane1, out.b1);
+  const std::int64_t a2 = eb.eval(out.lane2, out.b2);
+  out.warp1 = warp_of(sa, out.b1);
+  out.warp2 = warp_of(sb, out.b2);
+  if (a1 != a2 || out.warp1 == out.warp2) return out;  // defensive
+  out.address = static_cast<std::uint64_t>(a1);
+  out.outcome = PairOutcome::kRace;
+  return out;
+}
+
+/// Instance enumeration support for the bounded (opaque / row-col /
+/// fallback) path.
+struct EnumEntry {
+  std::uint64_t wid = 0;
+  std::uint32_t lane = 0;
+  std::vector<std::uint64_t> binding;
+};
+
+/// Up to two entries per address, with DISTINCT warp ids: any later
+/// query warp then mismatches at least one stored entry, so two suffice
+/// for completeness.
+struct CellEntries {
+  int n = 0;
+  std::array<EnumEntry, 2> e;
+};
+
+bool relevant_var(const SiteShape& s, std::size_t v) {
+  if (s.warp_var == v) return true;
+  const AccessSite& site = *s.site;
+  switch (site.form) {
+    case IndexForm::kFlat:
+      return site.flat.coeff(v) != 0;
+    case IndexForm::kRowCol:
+      return site.row.coeff(v) != 0 || site.col.coeff(v) != 0;
+    case IndexForm::kOpaque:
+      return true;
+  }
+  return true;
+}
+
+enum class EnumResult { kFinished, kCapped, kStopped };
+
+/// Enumerate every (binding, lane) instance of the site (irrelevant vars
+/// pinned to 0), visiting (address, warp, lane, binding). The visitor
+/// returns false to stop early. Stops at `cap` instances.
+template <typename Fn>
+EnumResult enumerate_site(const KernelDesc& kernel, const SiteShape& s,
+                          std::uint64_t cap, Fn&& visit) {
+  std::vector<std::size_t> rv;
+  for (std::size_t v = 0; v < kernel.vars.size(); ++v) {
+    if (relevant_var(s, v)) rv.push_back(v);
+  }
+  std::vector<std::uint64_t> binding(kernel.vars.size(), 0);
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::vector<std::int64_t> addrs =
+        materialize_site(kernel, *s.site, binding);
+    const std::uint64_t wid = warp_of(s, binding);
+    for (std::size_t lane = 0; lane < addrs.size(); ++lane) {
+      if (seen == cap) return EnumResult::kCapped;
+      ++seen;
+      if (!visit(static_cast<std::uint64_t>(addrs[lane]), wid,
+                 static_cast<std::uint32_t>(lane), binding)) {
+        return EnumResult::kStopped;
+      }
+    }
+    std::size_t d = 0;
+    for (; d < rv.size(); ++d) {
+      if (++binding[rv[d]] < kernel.vars[rv[d]].count) break;
+      binding[rv[d]] = 0;
+    }
+    if (d == rv.size()) break;
+  }
+  return EnumResult::kFinished;
+}
+
+/// Bounded-enumeration decision: build an address map of the first
+/// site's instances, stream the second site against it (one combined
+/// stream when the pair is a site against itself).
+PairDecision decide_enum(const KernelDesc& kernel, const SiteShape& sa,
+                         const SiteShape& sb) {
+  PairDecision out;
+  std::unordered_map<std::uint64_t, CellEntries> map;
+  bool capped = false;
+  bool race = false;
+  std::uint64_t count_a = 0;
+  std::uint64_t count_b = 0;
+
+  const auto record = [&map](std::uint64_t addr, std::uint64_t wid,
+                             std::uint32_t lane,
+                             const std::vector<std::uint64_t>& binding) {
+    CellEntries& cell = map[addr];
+    if (cell.n == 0 || (cell.n == 1 && cell.e[0].wid != wid)) {
+      cell.e[static_cast<std::size_t>(cell.n)] = {wid, lane, binding};
+      ++cell.n;
+    }
+  };
+  const auto probe = [&map, &out, &race](
+                         std::uint64_t addr, std::uint64_t wid,
+                         std::uint32_t lane,
+                         const std::vector<std::uint64_t>& binding) {
+    const auto it = map.find(addr);
+    if (it == map.end()) return false;
+    for (int k = 0; k < it->second.n; ++k) {
+      const EnumEntry& e = it->second.e[static_cast<std::size_t>(k)];
+      if (e.wid != wid) {
+        out.lane1 = e.lane;
+        out.warp1 = e.wid;
+        out.b1 = e.binding;
+        out.lane2 = lane;
+        out.warp2 = wid;
+        out.b2 = binding;
+        out.address = addr;
+        race = true;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (sa.index == sb.index) {
+    const EnumResult r = enumerate_site(
+        kernel, sa, kRaceEnumCap,
+        [&](std::uint64_t addr, std::uint64_t wid, std::uint32_t lane,
+            const std::vector<std::uint64_t>& binding) {
+          ++count_a;
+          if (probe(addr, wid, lane, binding)) return false;
+          record(addr, wid, lane, binding);
+          return true;
+        });
+    capped = (r == EnumResult::kCapped);
+    count_b = count_a;
+  } else {
+    const EnumResult ra = enumerate_site(
+        kernel, sa, kRaceEnumCap,
+        [&](std::uint64_t addr, std::uint64_t wid, std::uint32_t lane,
+            const std::vector<std::uint64_t>& binding) {
+          ++count_a;
+          record(addr, wid, lane, binding);
+          return true;
+        });
+    const EnumResult rb = enumerate_site(
+        kernel, sb, kRaceEnumCap,
+        [&](std::uint64_t addr, std::uint64_t wid, std::uint32_t lane,
+            const std::vector<std::uint64_t>& binding) {
+          ++count_b;
+          return !probe(addr, wid, lane, binding);
+        });
+    capped = (ra == EnumResult::kCapped) || (rb == EnumResult::kCapped);
+  }
+
+  if (race) {
+    out.outcome = PairOutcome::kRace;
+    return out;
+  }
+  if (capped) {
+    out.detail = "enumeration budget exhausted; pair sampled, not proven";
+    return out;  // kUndecided
+  }
+  out.outcome = PairOutcome::kDisjoint;
+  out.rule = "enumerated-disjoint";
+  std::ostringstream detail;
+  detail << "complete enumeration of " << count_a << " + " << count_b
+         << " instances found no cross-warp overlap";
+  out.detail = detail.str();
+  return out;
+}
+
+RaceAccess make_access(const KernelDesc& kernel, const SiteShape& s,
+                       std::uint32_t lane, std::uint64_t warp,
+                       const std::vector<std::uint64_t>& binding,
+                       std::uint64_t address) {
+  RaceAccess a;
+  a.site_index = s.index;
+  a.site = s.site->name;
+  a.dir = s.site->dir;
+  a.lane = lane;
+  a.warp = warp;
+  a.address = address;
+  a.binding.reserve(kernel.vars.size());
+  for (std::size_t v = 0; v < kernel.vars.size(); ++v) {
+    a.binding.emplace_back(kernel.vars[v].name,
+                           v < binding.size() ? binding[v] : 0);
+  }
+  return a;
+}
+
+void append_access(std::ostringstream& os, const RaceAccess& a) {
+  os << access_dir_name(a.dir) << " '" << a.site << "' (warp " << a.warp
+     << ", lane " << a.lane;
+  for (const auto& [name, value] : a.binding) {
+    os << ", " << name << "=" << value;
+  }
+  os << ")";
+}
+
+}  // namespace
+
+const char* race_kind_name(RaceKind kind) noexcept {
+  switch (kind) {
+    case RaceKind::kRaw:
+      return "RAW";
+    case RaceKind::kWaw:
+      return "WAW";
+    case RaceKind::kWar:
+      return "WAR";
+  }
+  return "?";
+}
+
+std::string RaceFinding::to_string() const {
+  std::ostringstream os;
+  os << race_kind_name(kind) << " race (phase " << phase << ") at word "
+     << first.address << ": ";
+  append_access(os, first);
+  os << " vs ";
+  append_access(os, second);
+  return os.str();
+}
+
+std::string RaceFreedomCertificate::to_json() const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("kind", "race-freedom-certificate");
+  w.kv("kernel", std::string_view(kernel));
+  w.kv("width", static_cast<std::uint64_t>(width));
+  w.kv("rows", rows);
+  w.kv("phases", static_cast<std::uint64_t>(phases));
+  w.kv("pairs_checked", pairs_checked);
+  w.kv("claim", std::string_view(claim));
+  w.key("proofs");
+  w.begin_array();
+  for (const RacePairProof& p : proofs) {
+    w.begin_object();
+    w.kv("first_site", std::string_view(p.first_site));
+    w.kv("second_site", std::string_view(p.second_site));
+    w.kv("rule", std::string_view(p.rule));
+    w.kv("detail", std::string_view(p.detail));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+RaceAnalysis analyze_races(const KernelDesc& kernel) {
+  const std::vector<std::string> errors = validate_kernel(kernel);
+  if (!errors.empty()) {
+    throw std::invalid_argument("analyze_races: " + errors.front());
+  }
+
+  RaceAnalysis out;
+  out.kernel = kernel.name;
+  out.width = kernel.width;
+  out.rows = kernel.rows;
+  out.phases = kernel.num_phases();
+
+  std::vector<SiteShape> shapes(kernel.sites.size());
+  for (std::size_t i = 0; i < kernel.sites.size(); ++i) {
+    SiteShape& s = shapes[i];
+    s.index = i;
+    s.site = &kernel.sites[i];
+    s.lanes = s.site->lanes != 0 ? s.site->lanes : kernel.width;
+    if (!s.site->warp.empty()) {
+      const std::size_t v = kernel.var_index(s.site->warp);
+      const std::uint64_t count = kernel.vars[v].count;
+      if (count >= 2) {
+        s.warp_var = v;
+        s.warp_count = count;
+      }
+    }
+  }
+
+  std::vector<RacePairProof> proofs;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    for (std::size_t j = i; j < shapes.size(); ++j) {
+      if (kernel.site_phase(i) != kernel.site_phase(j)) continue;
+      const SiteShape& sa = shapes[i];
+      const SiteShape& sb = shapes[j];
+      if (!conflicting(sa.site->dir, sb.site->dir)) continue;
+      ++out.pairs_checked;
+
+      if (sa.warp_var == kNoVar && sb.warp_var == kNoVar) {
+        proofs.push_back({sa.site->name, sb.site->name, "single-warp",
+                          "both sites execute entirely within warp 0, so "
+                          "program order serializes them"});
+        continue;
+      }
+
+      PairDecision d;
+      const bool both_flat = sa.site->form == IndexForm::kFlat &&
+                             sb.site->form == IndexForm::kFlat;
+      if (both_flat) d = decide_flat(kernel, sa, sb);
+      if (!both_flat || d.outcome == PairOutcome::kUndecided) {
+        d = decide_enum(kernel, sa, sb);
+      }
+
+      switch (d.outcome) {
+        case PairOutcome::kDisjoint:
+          proofs.push_back({sa.site->name, sb.site->name, d.rule, d.detail});
+          break;
+        case PairOutcome::kRace: {
+          RaceFinding f;
+          f.kind = classify(sa.site->dir, sb.site->dir);
+          f.phase = kernel.site_phase(i);
+          f.first =
+              make_access(kernel, sa, d.lane1, d.warp1, d.b1, d.address);
+          f.second =
+              make_access(kernel, sb, d.lane2, d.warp2, d.b2, d.address);
+          std::ostringstream detail;
+          detail << "warp " << d.warp1 << " and warp " << d.warp2
+                 << " both touch word " << d.address << " in phase "
+                 << f.phase << " with no intervening barrier";
+          f.detail = detail.str();
+          out.findings.push_back(std::move(f));
+          break;
+        }
+        case PairOutcome::kUndecided:
+          out.exhaustive = false;
+          break;
+      }
+    }
+  }
+
+  if (out.findings.empty() && out.exhaustive) {
+    RaceFreedomCertificate cert;
+    cert.kernel = kernel.name;
+    cert.width = kernel.width;
+    cert.rows = kernel.rows;
+    cert.phases = out.phases;
+    cert.pairs_checked = out.pairs_checked;
+    cert.proofs = std::move(proofs);
+    cert.claim =
+        "every same-phase conflicting site pair is cross-warp disjoint; "
+        "no data race is reachable under any warp interleaving";
+    out.certificate = std::move(cert);
+  }
+  return out;
+}
+
+}  // namespace rapsim::analyze

@@ -1,8 +1,8 @@
 // Shared-memory sanitizer for the DMM machine (static analysis, pillar 3).
 //
 // An opt-in checker installed on dmm::Dmm via set_sanitizer(). While
-// installed, every warp access is screened for the three shared-memory
-// bugs the simulator would otherwise hide or hard-fault on:
+// installed, every warp access is screened for the shared-memory bugs the
+// simulator would otherwise hide or hard-fault on:
 //
 //   * out-of-bounds      — a translated physical address beyond the memory
 //                          (the machine normally throws on the first one;
@@ -18,11 +18,26 @@
 //                          surviving value is undefined — exactly the bug
 //                          class worth flagging. Equal-value multi-writes
 //                          are the benign broadcast idiom and stay silent.
+//   * cross-warp races   — RAW / WAW / WAR between DIFFERENT warps inside
+//                          one barrier interval (epoch). A per-cell shadow
+//                          keeps the last writer and the last readers of
+//                          the current epoch; barriers (note_barrier) and
+//                          run starts (begin_run) advance the epoch, after
+//                          which stale shadow entries can no longer match.
+//                          Atomic-atomic pairs are exempt (the machine
+//                          serializes them); everything else that touches
+//                          one cell from two warps with at least one write
+//                          and no intervening barrier is flagged. This is
+//                          the dynamic twin of the static happens-before
+//                          pass (analyze/race.hpp, DESIGN.md §14).
 //
 // Findings accumulate (bounded at max_findings; counters stay exact) and
 // report through the PR-1 telemetry sink: flush_into() emits
 // sanitizer.out_of_bounds / sanitizer.uninitialized_read /
-// sanitizer.write_conflict counters into a MetricsRegistry.
+// sanitizer.write_conflict / sanitizer.raw_race / sanitizer.waw_race /
+// sanitizer.war_race counters into a MetricsRegistry, plus one labeled
+// sanitizer.race_site counter per recorded race finding so lint and
+// sanitizer output cross-reference by access-site NAME.
 //
 // Attach the sanitizer BEFORE writing the kernel's inputs: the shadow
 // write-bitmap starts all-unwritten at attach time, and host-side
@@ -32,6 +47,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,18 +59,32 @@ enum class FindingKind : std::uint8_t {
   kOutOfBounds,
   kUninitializedRead,
   kWriteConflict,
+  kRawRace,
+  kWawRace,
+  kWarRace,
 };
 
 [[nodiscard]] const char* finding_kind_name(FindingKind kind) noexcept;
+
+/// True for the cross-warp race kinds (RAW / WAW / WAR).
+[[nodiscard]] bool is_race_kind(FindingKind kind) noexcept;
 
 struct Finding {
   FindingKind kind = FindingKind::kOutOfBounds;
   std::uint32_t warp = 0;
   std::uint32_t thread = 0;       // faulting lane (global thread id)
-  std::uint32_t other_thread = 0; // write conflict: the winning lane
+  std::uint32_t other_thread = 0; // conflicting lane (races: other side)
   std::uint32_t instruction = 0;  // index into Kernel::instructions
   std::uint64_t logical = 0;
   std::uint64_t physical = 0;
+  // Races: the other side of the pair (the earlier access this epoch).
+  std::uint32_t other_warp = 0;
+  std::uint32_t other_instruction = 0;
+  /// Access-site / instruction names (from Kernel::labels via
+  /// begin_run); empty when the kernel carries no labels. Lets the
+  /// finding be cross-referenced against lint's static findings.
+  std::string site;
+  std::string other_site;
 
   /// One-line human-readable rendering.
   [[nodiscard]] std::string to_string() const;
@@ -72,18 +102,34 @@ class ShmemSanitizer {
   /// banks and forget prior findings. Dmm::set_sanitizer calls this.
   void attach(std::uint32_t width, std::uint64_t size);
 
+  /// Kernel launch: advance the race epoch (pre-run state never races
+  /// with the run) and capture the instruction labels for finding
+  /// reports. Pass an empty span when the kernel has no labels.
+  void begin_run(std::span<const std::string> instruction_labels);
+
+  /// Block-wide barrier released: advance the race epoch. Accesses on
+  /// opposite sides of a barrier are ordered and can no longer race.
+  void note_barrier() noexcept;
+
   /// Host-side store / fill marks a cell initialized.
   void note_host_write(std::uint64_t physical) noexcept;
 
   void record_out_of_bounds(std::uint32_t warp, std::uint32_t thread,
                             std::uint32_t instruction, std::uint64_t logical,
                             std::uint64_t physical);
-  /// Checks the shadow bitmap; records a finding on an unwritten cell.
+  /// Checks the shadow bitmap (uninitialized read) and the epoch shadow
+  /// (RAW against a different-warp writer of this epoch), then records
+  /// the reader. `atomic` marks the read half of an atomic op.
   void check_read(std::uint32_t warp, std::uint32_t thread,
                   std::uint32_t instruction, std::uint64_t logical,
-                  std::uint64_t physical);
-  /// Marks the cell written.
-  void note_write(std::uint64_t physical) noexcept;
+                  std::uint64_t physical, bool atomic = false);
+  /// Checks the epoch shadow (WAW against the writer, WAR against the
+  /// readers of this epoch, cross-warp only), then records the writer
+  /// and marks the cell written. `atomic` marks the write half of an
+  /// atomic op.
+  void note_write(std::uint32_t warp, std::uint32_t thread,
+                  std::uint32_t instruction, std::uint64_t logical,
+                  std::uint64_t physical, bool atomic = false);
   /// `winner` already stored `winner_value`; lane `thread` wanted `value`.
   void check_write_conflict(std::uint32_t warp, std::uint32_t winner,
                             std::uint32_t thread, std::uint32_t instruction,
@@ -99,6 +145,8 @@ class ShmemSanitizer {
     return counts_[static_cast<std::size_t>(kind)];
   }
   [[nodiscard]] std::uint64_t total() const noexcept;
+  /// Cross-warp races only (RAW + WAW + WAR).
+  [[nodiscard]] std::uint64_t race_total() const noexcept;
   [[nodiscard]] bool clean() const noexcept { return total() == 0; }
 
   /// Forget findings but keep the shadow write-bitmap (for checking a
@@ -110,18 +158,42 @@ class ShmemSanitizer {
 
   /// Counters into the telemetry registry:
   ///   sanitizer.out_of_bounds, sanitizer.uninitialized_read,
-  ///   sanitizer.write_conflict, sanitizer.findings (total)
+  ///   sanitizer.write_conflict, sanitizer.raw_race, sanitizer.waw_race,
+  ///   sanitizer.war_race, sanitizer.races, sanitizer.findings (total),
+  /// plus sanitizer.race_site{site=...,kind=...} per recorded race.
   void flush_into(telemetry::MetricsRegistry& registry,
                   const telemetry::Labels& labels) const;
 
  private:
+  /// One prior access of the current epoch (epoch tags make stale
+  /// entries self-invalidating — nothing is scrubbed at barriers).
+  struct ShadowAccess {
+    std::uint64_t epoch = 0;  // 0 = never
+    std::uint32_t warp = 0;
+    std::uint32_t lane = 0;
+    std::uint32_t instruction = 0;
+    bool atomic = false;
+  };
+  /// Last writer plus up to two distinct-warp readers per cell. Two
+  /// readers suffice: a later writer mismatches at least one of two
+  /// distinct warps, so no WAR pair is missed (same argument as the
+  /// static enumeration rule).
+  struct CellShadow {
+    ShadowAccess writer;
+    std::array<ShadowAccess, 2> readers;
+  };
+
   void record(Finding finding);
+  [[nodiscard]] const std::string* label_of(std::uint32_t instruction) const;
 
   std::uint32_t width_ = 0;
   std::uint64_t size_ = 0;
   std::vector<bool> written_;
+  std::vector<CellShadow> shadow_;
+  std::uint64_t epoch_ = 1;
+  std::vector<std::string> labels_;
   std::vector<Finding> findings_;
-  std::array<std::uint64_t, 3> counts_{};
+  std::array<std::uint64_t, 6> counts_{};
 };
 
 }  // namespace rapsim::analyze

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace rapsim::dmm {
@@ -99,9 +100,15 @@ using Instruction = std::vector<ThreadOp>;
 struct Kernel {
   std::uint32_t num_threads = 0;
   std::vector<Instruction> instructions;
+  /// Optional per-instruction labels (access-site names), parallel to
+  /// `instructions`; empty entries (or an empty vector) mean unlabeled.
+  /// The sanitizer reports findings by label so they cross-reference
+  /// lint's static findings.
+  std::vector<std::string> labels;
 
   /// Append an instruction; it must have exactly num_threads slots.
-  void push(Instruction instr);
+  /// The optional label names the instruction in sanitizer findings.
+  void push(Instruction instr, std::string label = {});
 
   /// Append a block-wide barrier (__syncthreads()).
   void push_barrier();

@@ -10,16 +10,18 @@
 
 namespace rapsim::dmm {
 
-void Kernel::push(Instruction instr) {
+void Kernel::push(Instruction instr, std::string label) {
   if (instr.size() != num_threads) {
     throw std::invalid_argument(
         "Kernel::push: instruction must have one ThreadOp per thread");
   }
   instructions.push_back(std::move(instr));
+  labels.push_back(std::move(label));
 }
 
 void Kernel::push_barrier() {
   instructions.emplace_back(num_threads, ThreadOp::barrier());
+  labels.emplace_back();
 }
 
 Dmm::Dmm(DmmConfig config, const core::AddressMap& map)
@@ -151,8 +153,10 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
       }
       if (sanitizer_) {
         // An atomic add reads the cell before writing it back.
-        sanitizer_->check_read(warp_id, t, instr_idx, op.logical, phys);
-        sanitizer_->note_write(phys);
+        sanitizer_->check_read(warp_id, t, instr_idx, op.logical, phys,
+                               /*atomic=*/true);
+        sanitizer_->note_write(warp_id, t, instr_idx, op.logical, phys,
+                               /*atomic=*/true);
       }
       memory_[phys] += registers_[static_cast<std::size_t>(t) *
                                       kRegistersPerThread +
@@ -247,7 +251,9 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
           // later writes to the same merged address are ignored.
           memory_[phys] =
               op.kind == OpKind::kStoreImm ? op.immediate : reg;
-          if (sanitizer_) sanitizer_->note_write(phys);
+          if (sanitizer_) {
+            sanitizer_->note_write(warp_id, t, instr_idx, op.logical, phys);
+          }
         } else if (sanitizer_) {
           // The winner already stored; a losing lane carrying a DIFFERENT
           // value is a genuine CRCW write-write race.
@@ -305,6 +311,7 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
       static_cast<std::size_t>(kernel.num_threads) * kRegistersPerThread, 0);
   if (trace) trace->clear();
   if (telemetry_) telemetry_->reset(config_.width);
+  if (sanitizer_) sanitizer_->begin_run(kernel.labels);
   if (capture_) {
     if (config_.width > 64) {
       // The capture lane mask is one 64-bit word; wider machines have no
@@ -402,6 +409,9 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
         // reports each barrier once.
         capture_->on_barrier(static_cast<std::uint32_t>(barrier_instr));
       }
+      // The barrier orders all earlier accesses before all later ones:
+      // advance the race-detection epoch.
+      if (sanitizer_) sanitizer_->note_barrier();
       for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
         if (next_instr[warp] == barrier_instr) {
           ready[warp] = release;

@@ -50,8 +50,8 @@ void Hmm::copy_in(const CopyPhase& phase, std::uint32_t num_threads) {
   }
   // Timing: the global machine executes the loads, the shared machine the
   // stores. Data: moved host-side between the two memories.
-  dmm::Kernel global_kernel{num_threads, {}};
-  dmm::Kernel shared_kernel{num_threads, {}};
+  dmm::Kernel global_kernel{num_threads, {}, {}};
+  dmm::Kernel shared_kernel{num_threads, {}, {}};
   dmm::Instruction loads(num_threads), stores(num_threads);
   for (std::uint32_t t = 0; t < num_threads; ++t) {
     if (!phase[t]) continue;
@@ -69,8 +69,8 @@ void Hmm::copy_out(const CopyPhase& phase, std::uint32_t num_threads) {
   if (phase.size() != num_threads) {
     throw std::invalid_argument("Hmm::copy_out: one op per thread required");
   }
-  dmm::Kernel shared_kernel{num_threads, {}};
-  dmm::Kernel global_kernel{num_threads, {}};
+  dmm::Kernel shared_kernel{num_threads, {}, {}};
+  dmm::Kernel global_kernel{num_threads, {}, {}};
   dmm::Instruction loads(num_threads), stores(num_threads);
   for (std::uint32_t t = 0; t < num_threads; ++t) {
     if (!phase[t]) continue;
@@ -89,7 +89,7 @@ void Hmm::copy_global(const CopyPhase& phase, std::uint32_t num_threads) {
     throw std::invalid_argument(
         "Hmm::copy_global: one op per thread required");
   }
-  dmm::Kernel kernel{num_threads, {}};
+  dmm::Kernel kernel{num_threads, {}, {}};
   dmm::Instruction loads(num_threads), stores(num_threads);
   for (std::uint32_t t = 0; t < num_threads; ++t) {
     if (!phase[t]) continue;

@@ -142,9 +142,11 @@ analyze::KernelDesc describe_tiled_transpose_shared(
   AccessSite stage;
   stage.name = "stage tile[i][*]";
   stage.dir = AccessDir::kStore;
+  stage.warp = "u";
   AccessSite drain;
   drain.name = "drain tile[*][i]";
   drain.dir = AccessDir::kLoad;
+  drain.warp = "u";
   if (strategy == TransposeStrategy::kTiled) {
     // In: tile[i][j] = u*w + lane (rows). Out: tile[j][i] = lane*w + u
     // (columns — the classic stride-w bank conflict under RAW).
@@ -159,7 +161,12 @@ analyze::KernelDesc describe_tiled_transpose_shared(
     drain.row = {0, 1, {0}};
     drain.col = {0, 1, {1}};
   }
-  kernel.sites = {std::move(stage), std::move(drain)};
+  // The __syncthreads() between staging and draining: warp u's drain
+  // reads every warp's staged row, so without it the RAW race the
+  // happens-before pass reports is real.
+  kernel.sites.push_back(std::move(stage));
+  kernel.add_barrier();
+  kernel.sites.push_back(std::move(drain));
   return kernel;
 }
 

@@ -156,6 +156,12 @@ ReplayResult replay_trace(const AccessTrace& trace,
   ReplayResult result;
   dmm::Dmm machine(config, map);
   machine.set_telemetry(&result.telemetry);
+  if (options.sanitizer) {
+    machine.set_sanitizer(options.sanitizer);
+    // A trace carries addresses, not data: mark every word initialized
+    // so the sanitizer screens races without uninitialized-read noise.
+    machine.fill_identity();
+  }
   const std::uint64_t execute_span =
       tracer ? tracer->begin("replay:execute", options.trace_parent)
              : telemetry::kNoSpan;

@@ -28,6 +28,7 @@
 
 #include "analyze/certificate.hpp"
 #include "analyze/kernelir.hpp"
+#include "analyze/sanitizer.hpp"
 #include "core/mapping.hpp"
 #include "dmm/capture.hpp"
 #include "dmm/machine.hpp"
@@ -76,6 +77,12 @@ struct ReplayOptions {
   /// `trace_parent` (kNoSpan = they become roots). Never owned.
   telemetry::SpanTracer* tracer = nullptr;
   std::uint64_t trace_parent = telemetry::kNoSpan;
+  /// Optional sanitizer installed on the replay machine (never owned).
+  /// Replay memory is pre-initialized when set, so a replayed trace is
+  /// screened for cross-warp races without uninitialized-read noise —
+  /// the trace-replay leg of the race differential
+  /// (tests/race_differential_test.cpp).
+  analyze::ShmemSanitizer* sanitizer = nullptr;
 };
 
 struct ReplayResult {

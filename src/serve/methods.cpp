@@ -194,11 +194,16 @@ MethodCall prepare_lint(const JsonValue& params) {
     bad(std::string("kernel: ") + e.what());
   }
 
+  analyze::LintOptions options;
+  options.races = get_bool(params, "races", true);
+
   MethodCall call;
   call.identity = std::string("lint\n") + core::scheme_name(scheme) + '\n' +
-                  std::to_string(width) + '\n' + text;
-  call.run = [scheme, kernel = std::move(kernel)](const ExecContext&) {
-    return analyze::lint_report_json(analyze::lint_kernel(kernel, scheme));
+                  std::to_string(width) + '\n' +
+                  (options.races ? "races\n" : "no-races\n") + text;
+  call.run = [scheme, options, kernel = std::move(kernel)](const ExecContext&) {
+    return analyze::lint_report_json(
+        analyze::lint_kernel(kernel, scheme, options));
   };
   return call;
 }

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 namespace rapsim::serve {
@@ -18,7 +19,11 @@ namespace rapsim::serve {
 namespace {
 
 [[noreturn]] void fail_errno(const std::string& what) {
-  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+  // generic_category().message(), not strerror(): the accept loop and the
+  // worker pool can fail concurrently, and strerror's static buffer is
+  // not thread-safe (clang-tidy concurrency-mt-unsafe).
+  throw std::runtime_error(
+      "serve: " + what + ": " + std::generic_category().message(errno));
 }
 
 void set_cloexec(int fd) { (void)fcntl(fd, F_SETFD, FD_CLOEXEC); }

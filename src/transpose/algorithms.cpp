@@ -62,9 +62,11 @@ analyze::KernelDesc describe_kernel(Algorithm algorithm,
   AccessSite read;
   read.name = "read A";
   read.dir = AccessDir::kLoad;
+  read.warp = "u";
   AccessSite write;
   write.name = "write B";
   write.dir = AccessDir::kStore;
+  write.warp = "u";
 
   switch (algorithm) {
     case Algorithm::kCrsw:

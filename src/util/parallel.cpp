@@ -12,7 +12,9 @@
 namespace rapsim::util {
 
 std::size_t worker_count() {
-  if (const char* env = std::getenv("RAPSIM_THREADS")) {
+  // Read-only env lookup with no setenv anywhere in the process, so the
+  // getenv data race concurrency-mt-unsafe guards against cannot occur.
+  if (const char* env = std::getenv("RAPSIM_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
     char* end = nullptr;
     errno = 0;
     const long long n = std::strtoll(env, &end, 10);

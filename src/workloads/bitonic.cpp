@@ -78,16 +78,21 @@ analyze::KernelDesc describe_bitonic_kernel(std::uint64_t n,
     };
     AccessSite lo;
     lo.name = "pair(j=" + std::to_string(j) + ").lo";
-    lo.dir = AccessDir::kLoad;  // loaded and stored: identical streams
+    lo.dir = AccessDir::kStore;  // loaded and stored: identical streams
     lo.form = IndexForm::kOpaque;
+    lo.warp = "u";
     lo.opaque = make(false);
     AccessSite hi;
     hi.name = "pair(j=" + std::to_string(j) + ").hi";
-    hi.dir = AccessDir::kLoad;
+    hi.dir = AccessDir::kStore;
     hi.form = IndexForm::kOpaque;
+    hi.warp = "u";
     hi.opaque = make(true);
     kernel.sites.push_back(std::move(lo));
     kernel.sites.push_back(std::move(hi));
+    // build_bitonic_kernel synchronizes after every compare-exchange
+    // round; the next round's pairs cross warp boundaries.
+    if (j > 1) kernel.add_barrier();
   }
   return kernel;
 }

@@ -75,7 +75,7 @@ HistogramReport run_histogram(const HistogramConfig& config,
   dmm::Dmm machine(dmm::DmmConfig{w, 1}, *map);
   machine.store(scratch, 1);
 
-  dmm::Kernel kernel{w, {}};
+  dmm::Kernel kernel{w, {}, {}};
   {
     dmm::Instruction load_one(w);
     for (std::uint32_t t = 0; t < w; ++t) {

@@ -66,6 +66,7 @@ analyze::KernelDesc describe_matmul_kernel(MatmulLayout layout,
   AccessSite load_a;
   load_a.name = "load A[i][k]";
   load_a.dir = AccessDir::kLoad;
+  load_a.warp = "u";
   load_a.flat = {0, 0, {w, 1}};
 
   // Row-major B[k][j] = w^2 + k*w + lane (a row: conflict-free);
@@ -74,6 +75,7 @@ analyze::KernelDesc describe_matmul_kernel(MatmulLayout layout,
   load_b.name = layout == MatmulLayout::kRowMajorB ? "load B[k][j]"
                                                    : "load Bt[j][k]";
   load_b.dir = AccessDir::kLoad;
+  load_b.warp = "u";
   load_b.flat = layout == MatmulLayout::kRowMajorB
                     ? analyze::AffineExpr{w * w, 1, {0, w}}
                     : analyze::AffineExpr{w * w, w, {0, 1}};
@@ -82,6 +84,7 @@ analyze::KernelDesc describe_matmul_kernel(MatmulLayout layout,
   AccessSite store_c;
   store_c.name = "store C[i][j]";
   store_c.dir = AccessDir::kStore;
+  store_c.warp = "u";
   store_c.flat = {2 * w * w, 1, {w, 0}};
 
   kernel.sites = {std::move(load_a), std::move(load_b), std::move(store_c)};

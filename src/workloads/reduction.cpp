@@ -78,8 +78,10 @@ analyze::KernelDesc describe_reduction_kernel(ReductionVariant variant,
         active >= width ? width : static_cast<std::uint32_t>(active);
     std::int64_t warp_coeff = 0;
     std::size_t var = kernel.vars.size();
+    std::string warp_var;
     if (active > width) {
-      kernel.vars.push_back({"u" + std::to_string(step), active / width});
+      warp_var = "u" + std::to_string(step);
+      kernel.vars.push_back({warp_var, active / width});
     } else {
       var = SIZE_MAX;  // single warp: no variable needed
     }
@@ -112,14 +114,19 @@ analyze::KernelDesc describe_reduction_kernel(ReductionVariant variant,
     left.name = prefix + ".left";
     left.dir = AccessDir::kStore;  // also loaded; the stream is identical
     left.lanes = lanes;
+    left.warp = warp_var;
     left.flat = make_expr(0);
     AccessSite right;
     right.name = prefix + ".right";
     right.dir = AccessDir::kLoad;
     right.lanes = lanes;
+    right.warp = warp_var;
     right.flat = make_expr(right_offset);
     kernel.sites.push_back(std::move(left));
     kernel.sites.push_back(std::move(right));
+    // Mirror build_reduction_kernel: a __syncthreads() after every step
+    // that feeds a successor (the next step reads what this one wrote).
+    if (active > 1) kernel.add_barrier();
   }
   // Earlier steps referenced shorter coefficient vectors; that is fine —
   // AffineExpr treats missing trailing coefficients as zero.

@@ -12,7 +12,7 @@ namespace {
 using core::RawMap;
 
 TEST(Barrier, PushBarrierAppendsFullWidthBarrier) {
-  Kernel k{8, {}};
+  Kernel k{8, {}, {}};
   k.push_barrier();
   ASSERT_EQ(k.instructions.size(), 1u);
   for (const auto& op : k.instructions[0]) {
@@ -23,7 +23,7 @@ TEST(Barrier, PushBarrierAppendsFullWidthBarrier) {
 TEST(Barrier, BarrierOnlyKernelCompletesInZeroTime) {
   RawMap map(4, 4);
   Dmm machine(DmmConfig{4, 5}, map);
-  Kernel k{8, {}};
+  Kernel k{8, {}, {}};
   k.push_barrier();
   k.push_barrier();
   const RunStats stats = machine.run(k);
@@ -39,7 +39,7 @@ TEST(Barrier, OrdersCrossWarpProducerConsumer) {
   RawMap map(w, 8);
   Dmm machine(DmmConfig{w, l}, map);
 
-  Kernel k{2 * w, {}};
+  Kernel k{2 * w, {}, {}};
   // Instruction 0: warp 0 performs a fully-conflicted (4-slot) write of
   // marker values; warp 1 idles.
   Instruction produce(2 * w);
@@ -74,7 +74,7 @@ TEST(Barrier, ReleaseWaitsForOutstandingRequests) {
   const std::uint32_t w = 4, l = 6;
   RawMap map(w, 8);
   Dmm machine(DmmConfig{w, l}, map);
-  Kernel k{w, {}};
+  Kernel k{w, {}, {}};
   Instruction first(w), second(w);
   for (std::uint32_t t = 0; t < w; ++t) {
     first[t] = ThreadOp::load(static_cast<std::uint64_t>(t) * w);  // 4 slots
@@ -96,7 +96,7 @@ TEST(Barrier, WarpsWithDifferentSpeedsResynchronize) {
   const std::uint32_t w = 4, l = 2;
   RawMap map(w, 16);
   Dmm machine(DmmConfig{w, l}, map);
-  Kernel k{2 * w, {}};
+  Kernel k{2 * w, {}, {}};
   Instruction phase1(2 * w);
   for (std::uint32_t t = 0; t < w; ++t) {
     phase1[t] = ThreadOp::store_imm(t, 1);  // warp 0: conflict-free
@@ -129,7 +129,7 @@ TEST(Barrier, WarpsWithDifferentSpeedsResynchronize) {
 TEST(Barrier, ConsecutiveBarriersAreHarmless) {
   RawMap map(4, 4);
   Dmm machine(DmmConfig{4, 3}, map);
-  Kernel k{8, {}};
+  Kernel k{8, {}, {}};
   Instruction a(8);
   a[0] = ThreadOp::store_imm(0, 5);
   k.push(std::move(a));
@@ -150,7 +150,7 @@ TEST(Barrier, SingleWarpBarrierIsCheap) {
   // With one warp the barrier degenerates to a no-op ordering point.
   RawMap map(4, 4);
   Dmm machine(DmmConfig{4, 2}, map);
-  Kernel k{4, {}};
+  Kernel k{4, {}, {}};
   Instruction a(4);
   for (std::uint32_t t = 0; t < 4; ++t) a[t] = ThreadOp::load(t);
   k.push(std::move(a));
@@ -170,7 +170,7 @@ TEST(Barrier, WorksOnTheUmmToo) {
   const std::uint32_t w = 4, l = 3;
   RawMap map(w, 8);
   Dmm machine(umm_config(w, l), map);
-  Kernel k{2 * w, {}};
+  Kernel k{2 * w, {}, {}};
   Instruction produce(2 * w);
   for (std::uint32_t t = 0; t < w; ++t) {
     produce[t] = ThreadOp::store_imm(t, 42);  // warp 0, one row
@@ -195,7 +195,7 @@ TEST(TraceInvariants, SlotsDoNotOverlapAndCompletionsAreConsistent) {
   const std::uint32_t w = 8, l = 4;
   RawMap map(w, 2 * w);
   Dmm machine(DmmConfig{w, l}, map);
-  Kernel k{w * 2, {}};
+  Kernel k{w * 2, {}, {}};
   util::Pcg32 rng(5);
   for (int instr = 0; instr < 6; ++instr) {
     Instruction in(w * 2);

@@ -116,7 +116,7 @@ class ReferenceMachine {
 Kernel random_synced_kernel(std::uint32_t w, std::uint32_t warps,
                             std::uint64_t mem_size, int instructions,
                             util::Pcg32& rng) {
-  Kernel k{w * warps, {}};
+  Kernel k{w * warps, {}, {}};
   const std::uint64_t region = mem_size / warps;
   for (int i = 0; i < instructions; ++i) {
     Instruction instr(k.num_threads);
@@ -203,7 +203,7 @@ TEST(Differential, SingleWarpKernelsNeedNoBarriers) {
     }
     auto kernel = random_synced_kernel(w, 1, map->size(), 10, rng);
     // Remove the barrier instructions.
-    Kernel stripped{kernel.num_threads, {}};
+    Kernel stripped{kernel.num_threads, {}, {}};
     for (auto& instr : kernel.instructions) {
       if (instr[0].kind != OpKind::kBarrier) stripped.push(std::move(instr));
     }
@@ -227,7 +227,7 @@ TEST(Differential, RaceFreeMultiWarpKernelWithoutBarriers) {
       machine.store(a, a + 7);
       ref.store(a, a + 7);
     }
-    Kernel k{w * warps, {}};
+    Kernel k{w * warps, {}, {}};
     for (int i = 0; i < 6; ++i) {
       Instruction instr(k.num_threads);
       const bool write_phase = i % 2 == 1;

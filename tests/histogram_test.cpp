@@ -20,7 +20,7 @@ TEST(AtomicAdd, SameAddressRequestsSerializeNotMerge) {
   const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
   machine.store(15, 0);
-  dmm::Kernel k{4, {}};
+  dmm::Kernel k{4, {}, {}};
   dmm::Instruction ones(4), adds(4);
   for (std::uint32_t t = 0; t < 4; ++t) {
     ones[t] = dmm::ThreadOp::store_imm(t, t + 1);
@@ -46,7 +46,7 @@ TEST(AtomicAdd, SameAddressRequestsSerializeNotMerge) {
 TEST(AtomicAdd, DistinctBanksStayParallel) {
   const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
-  dmm::Kernel k{4, {}};
+  dmm::Kernel k{4, {}, {}};
   dmm::Instruction adds(4);
   for (std::uint32_t t = 0; t < 4; ++t) {
     adds[t] = dmm::ThreadOp::atomic_add(t, 0);  // distinct banks
@@ -60,7 +60,7 @@ TEST(AtomicAdd, DistinctBanksStayParallel) {
 TEST(AtomicAdd, CannotMixWithOtherClasses) {
   const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
-  dmm::Kernel k{4, {}};
+  dmm::Kernel k{4, {}, {}};
   dmm::Instruction mixed(4);
   mixed[0] = dmm::ThreadOp::atomic_add(0);
   mixed[1] = dmm::ThreadOp::load(1);

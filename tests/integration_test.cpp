@@ -154,7 +154,7 @@ TEST(MachineGenericity, DmmRunsOver4dMaps) {
 
   // One warp sweeps the j (stride2) axis — conflict-free under 3P, so the
   // instruction costs exactly one pipeline slot.
-  dmm::Kernel k{w, {}};
+  dmm::Kernel k{w, {}, {}};
   dmm::Instruction loads(w);
   const auto* tensor = dynamic_cast<const core::Tensor4dMap*>(map.get());
   ASSERT_NE(tensor, nullptr);

@@ -147,6 +147,112 @@ TEST(KernelIr, ParseErrorsCarryLineNumbers) {
   expect_throw_with("kernel k\nwobble 3", "unknown directive");
 }
 
+TEST(KernelIr, ParseBarrierAndWarpRoundTrip) {
+  const KernelDesc kernel = parse_kernel_text(R"(
+kernel tiled
+width 8
+rows 16
+var u 8
+site stage store flat lane=1 u=8 warp=u
+barrier
+site drain load  flat lane=8 u=1 warp=u
+)");
+  ASSERT_EQ(kernel.sites.size(), 2u);
+  EXPECT_EQ(kernel.sites[0].warp, "u");
+  EXPECT_EQ(kernel.sites[1].warp, "u");
+  ASSERT_EQ(kernel.barriers.size(), 1u);
+  EXPECT_EQ(kernel.barriers[0], 1u);  // between stage and drain
+  EXPECT_EQ(kernel.num_phases(), 2u);
+  EXPECT_EQ(kernel.site_phase(0), 0u);
+  EXPECT_EQ(kernel.site_phase(1), 1u);
+
+  // A leading barrier is legal but vacuous: position 0, phase shifts.
+  const KernelDesc leading = parse_kernel_text(
+      "kernel k\nwidth 8\nrows 2\nbarrier\nsite s load flat lane=1\n");
+  ASSERT_EQ(leading.barriers.size(), 1u);
+  EXPECT_EQ(leading.barriers[0], 0u);
+  EXPECT_EQ(leading.site_phase(0), 1u);
+}
+
+// Satellite coverage for the race-bearing grammar: malformed barrier
+// lines, duplicate site names, overflowing affine coefficients and warp
+// attribute misuse must all fail with line-numbered diagnostics.
+TEST(KernelIr, ParseRejectsRaceGrammarMisuse) {
+  const auto expect_throw_with = [](const std::string& text,
+                                    const std::string& needle) {
+    try {
+      (void)parse_kernel_text(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  // Malformed barrier lines: the directive takes no arguments, and the
+  // diagnostic names the offending line.
+  expect_throw_with("kernel k\nrows 1\nbarrier 3", "barrier takes no");
+  expect_throw_with("kernel k\nrows 1\nbarrier 3", "line 3");
+  expect_throw_with("kernel k\nrows 1\nsite s load flat lane=1\nbarrier x",
+                    "line 4");
+
+  // Duplicate site names are a validation error (program order needs
+  // unambiguous cross-references from findings back to sites).
+  expect_throw_with(
+      "kernel k\nwidth 8\nrows 2\n"
+      "site s load flat lane=1\nsite s store flat lane=1\n",
+      "is invalid");
+  expect_throw_with(
+      "kernel k\nwidth 8\nrows 2\n"
+      "site s load flat lane=1\nsite s store flat lane=1\n",
+      "duplicate site 's'");
+
+  // Overflowing affine coefficients must not wrap silently.
+  expect_throw_with(
+      "kernel k\nrows 1\nsite s load flat lane=99999999999999999999999",
+      "integer out of range");
+  expect_throw_with(
+      "kernel k\nrows 1\nsite s load flat lane=99999999999999999999999",
+      "line 3");
+  expect_throw_with("kernel k\nwidth 99999999999999999999999\nrows 1",
+                    "line 2");
+
+  // Warp attribute misuse: unknown variable, duplicate attribute.
+  expect_throw_with("kernel k\nrows 1\nsite s load flat lane=1 warp=v",
+                    "unknown warp variable 'v'");
+  expect_throw_with(
+      "kernel k\nrows 1\nvar u 2\nsite s load flat lane=1 warp=u warp=u",
+      "duplicate 'warp' attribute");
+}
+
+TEST(KernelIr, ParseFuzzTruncatedTextsNeverCrash) {
+  // Deterministic fuzz: every prefix of a valid text (and the same with
+  // one byte deleted at each position) must either parse or throw
+  // std::invalid_argument — never crash, hang or throw anything else.
+  const std::string text =
+      "kernel tiled\nwidth 8\nrows 16\nvar u 8\n"
+      "site stage store flat lane=1 u=8 warp=u\nbarrier\n"
+      "site drain load flat lane=8 u=1 warp=u const=64\n";
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  const auto probe = [&](const std::string& mutated) {
+    try {
+      const KernelDesc kernel = parse_kernel_text(mutated);
+      EXPECT_FALSE(kernel.sites.empty());
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  };
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    probe(text.substr(0, cut));
+  }
+  for (std::size_t at = 0; at < text.size(); ++at) {
+    probe(text.substr(0, at) + text.substr(at + 1));
+  }
+  EXPECT_GT(parsed, 0u);    // the unmutated tail cases do parse
+  EXPECT_GT(rejected, 0u);  // and plenty of mutants are rejected
+}
+
 // --- symbolic passes -------------------------------------------------
 
 TEST(Passes, ResidueClosureFindsWorstBindingCrsw) {

@@ -118,5 +118,96 @@ TEST(Lint, TextRenderingNamesEverySite) {
   EXPECT_NE(text.find("[warning]"), std::string::npos);
 }
 
+// --- race verdicts in lint reports (DESIGN.md §14) --------------------
+
+/// A w=8 tile stage/drain pair; racy unless `barrier` separates them.
+KernelDesc tile_kernel(bool barrier) {
+  KernelDesc kernel;
+  kernel.name = barrier ? "tile" : "tile-stripped";
+  kernel.width = 8;
+  kernel.rows = 16;
+  kernel.vars = {{"u", 8}};
+  AccessSite stage;
+  stage.name = "stage";
+  stage.dir = AccessDir::kStore;
+  stage.warp = "u";
+  stage.flat = {0, 1, {8}};  // warp u stores row u
+  AccessSite drain;
+  drain.name = "drain";
+  drain.dir = AccessDir::kLoad;
+  drain.warp = "u";
+  drain.flat = {0, 8, {1}};  // warp u loads column u
+  kernel.sites = {stage, drain};
+  if (barrier) kernel.barriers.push_back(1);  // between stage and drain
+  return kernel;
+}
+
+TEST(LintRaces, CleanKernelCarriesTheCertificate) {
+  const LintReport report = lint_kernel(tile_kernel(true), Scheme::kRaw);
+  ASSERT_TRUE(report.races);
+  EXPECT_TRUE(report.races->race_free());
+  EXPECT_TRUE(report.races->findings.empty());
+  ASSERT_TRUE(report.races->certificate);
+
+  const std::string json = lint_report_json(report);
+  for (const char* key :
+       {"\"races\"", "\"race_free\"", "\"pairs_checked\"", "\"exhaustive\"",
+        "\"certificate\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"race_free\":true"), std::string::npos);
+  const std::string text = lint_report_text(report);
+  EXPECT_NE(text.find("races: none"), std::string::npos);
+}
+
+TEST(LintRaces, MissingBarrierIsAnErrorWithAnInsertBarrierFixit) {
+  const LintReport report = lint_kernel(tile_kernel(false), Scheme::kRaw);
+  EXPECT_EQ(report.severity(), Severity::kError);
+  ASSERT_TRUE(report.races);
+  EXPECT_FALSE(report.races->race_free());
+  ASSERT_FALSE(report.races->findings.empty());
+  EXPECT_FALSE(report.races->certificate);
+
+  // Every finding row has an aligned fix-it slot, and the first one is
+  // the provably-repairing INSERT-BARRIER.
+  ASSERT_EQ(report.race_fixits.size(), report.races->findings.size());
+  ASSERT_FALSE(report.race_fixits[0].empty());
+  EXPECT_EQ(report.race_fixits[0][0].action, "INSERT-BARRIER");
+  EXPECT_NE(report.race_fixits[0][0].detail.find("__syncthreads()"),
+            std::string::npos);
+
+  const std::string json = lint_report_json(report);
+  EXPECT_NE(json.find("\"race_free\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("INSERT-BARRIER"), std::string::npos);
+  EXPECT_NE(json.find("\"binding\""), std::string::npos);  // the witness
+  const std::string text = lint_report_text(report);
+  EXPECT_NE(text.find("[error]"), std::string::npos);
+  EXPECT_NE(text.find("fix-it: INSERT-BARRIER"), std::string::npos);
+
+  // Applying the fix-it (a barrier before the second site) re-lints
+  // clean — the acceptance loop, at the lint layer.
+  KernelDesc repaired = tile_kernel(false);
+  repaired.barriers.push_back(
+      report.races->findings[0].second.site_index);
+  const LintReport again = lint_kernel(repaired, Scheme::kRaw);
+  ASSERT_TRUE(again.races);
+  EXPECT_TRUE(again.races->race_free());
+  EXPECT_NE(again.severity(), Severity::kError);
+}
+
+TEST(LintRaces, RacesOptionFalseSkipsThePass) {
+  LintOptions options;
+  options.races = false;
+  const LintReport report =
+      lint_kernel(tile_kernel(false), Scheme::kRaw, options);
+  EXPECT_FALSE(report.races);
+  EXPECT_TRUE(report.race_fixits.empty());
+  // Without the race pass the missing barrier goes unnoticed and the
+  // congestion verdict alone decides severity.
+  EXPECT_NE(report.severity(), Severity::kError);
+  EXPECT_EQ(lint_report_json(report).find("\"races\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rapsim::analyze

@@ -255,5 +255,219 @@ TEST(Sanitizer, ReportListsFindingsAndBoundsThem) {
   EXPECT_TRUE(sanitizer.clean());
 }
 
+// --- cross-warp race detection (epoch shadow, DESIGN.md §14) ----------
+
+/// Two-warp kernel: warp 0 runs `first` at instruction 0, warp 1 runs
+/// `second` at instruction 1, optionally separated by a barrier.
+dmm::Kernel two_warp_kernel(std::uint32_t w, dmm::ThreadOp first,
+                            dmm::ThreadOp second, bool barrier,
+                            std::string first_label = {},
+                            std::string second_label = {}) {
+  dmm::Kernel kernel;
+  kernel.num_threads = 2 * w;
+  dmm::Instruction a(kernel.num_threads, dmm::ThreadOp::none());
+  a[0] = first;
+  kernel.push(std::move(a), std::move(first_label));
+  if (barrier) kernel.push_barrier();
+  dmm::Instruction b(kernel.num_threads, dmm::ThreadOp::none());
+  b[w] = second;
+  kernel.push(std::move(b), std::move(second_label));
+  return kernel;
+}
+
+TEST(SanitizerRace, CrossWarpRawIsDetectedAndAttributed) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  const auto kernel =
+      two_warp_kernel(w, dmm::ThreadOp::store_imm(5, 1), dmm::ThreadOp::load(5),
+                      /*barrier=*/false, "stage", "drain");
+  static_cast<void>(machine.run(kernel));
+
+  ASSERT_EQ(sanitizer.count(FindingKind::kRawRace), 1u) << sanitizer.report();
+  EXPECT_EQ(sanitizer.race_total(), 1u);
+  const Finding& f = sanitizer.findings().front();
+  EXPECT_EQ(f.kind, FindingKind::kRawRace);
+  EXPECT_EQ(f.warp, 1u);        // the racing reader
+  EXPECT_EQ(f.other_warp, 0u);  // the earlier writer
+  EXPECT_EQ(f.logical, 5u);
+  EXPECT_EQ(f.instruction, 1u);
+  EXPECT_EQ(f.other_instruction, 0u);
+  // Labels cross-reference the static finding's site names.
+  EXPECT_EQ(f.site, "drain");
+  EXPECT_EQ(f.other_site, "stage");
+  EXPECT_NE(f.to_string().find("'drain'"), std::string::npos);
+  EXPECT_NE(f.to_string().find("'stage'"), std::string::npos);
+}
+
+TEST(SanitizerRace, BarrierOrdersTheSamePair) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  const auto kernel = two_warp_kernel(w, dmm::ThreadOp::store_imm(5, 1),
+                                      dmm::ThreadOp::load(5),
+                                      /*barrier=*/true);
+  static_cast<void>(machine.run(kernel));
+  EXPECT_EQ(sanitizer.race_total(), 0u) << sanitizer.report();
+}
+
+TEST(SanitizerRace, SameWarpAccessesNeverRace) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  // Both accesses in warp 0: program order covers them.
+  dmm::Kernel kernel;
+  kernel.num_threads = w;
+  dmm::Instruction a(w, dmm::ThreadOp::none());
+  a[0] = dmm::ThreadOp::store_imm(5, 1);
+  kernel.push(std::move(a));
+  dmm::Instruction b(w, dmm::ThreadOp::none());
+  b[1] = dmm::ThreadOp::load(5);
+  kernel.push(std::move(b));
+  static_cast<void>(machine.run(kernel));
+  EXPECT_EQ(sanitizer.race_total(), 0u) << sanitizer.report();
+}
+
+TEST(SanitizerRace, WawAndWarAreClassified) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  const auto waw = two_warp_kernel(w, dmm::ThreadOp::store_imm(3, 1),
+                                   dmm::ThreadOp::store_imm(3, 2),
+                                   /*barrier=*/false);
+  static_cast<void>(machine.run(waw));
+  EXPECT_EQ(sanitizer.count(FindingKind::kWawRace), 1u) << sanitizer.report();
+
+  const auto war = two_warp_kernel(w, dmm::ThreadOp::load(7),
+                                   dmm::ThreadOp::store_imm(7, 1),
+                                   /*barrier=*/false);
+  static_cast<void>(machine.run(war));
+  EXPECT_EQ(sanitizer.count(FindingKind::kWarRace), 1u) << sanitizer.report();
+}
+
+TEST(SanitizerRace, RunBoundaryAdvancesTheEpoch) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  // Write in one run, read in the next: kernel launches are ordered.
+  dmm::Kernel writer;
+  writer.num_threads = 2 * w;
+  dmm::Instruction a(writer.num_threads, dmm::ThreadOp::none());
+  a[0] = dmm::ThreadOp::store_imm(5, 1);
+  writer.push(std::move(a));
+  static_cast<void>(machine.run(writer));
+
+  dmm::Kernel reader;
+  reader.num_threads = 2 * w;
+  dmm::Instruction b(reader.num_threads, dmm::ThreadOp::none());
+  b[w] = dmm::ThreadOp::load(5);
+  reader.push(std::move(b));
+  static_cast<void>(machine.run(reader));
+  EXPECT_EQ(sanitizer.race_total(), 0u) << sanitizer.report();
+}
+
+TEST(SanitizerRace, AtomicAtomicIsExemptButAtomicStoreIsNot) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  // Two warps atomically incrementing one cell: serialized by the
+  // machine, not a race.
+  const auto atomics = two_warp_kernel(w, dmm::ThreadOp::atomic_add(2),
+                                       dmm::ThreadOp::atomic_add(2),
+                                       /*barrier=*/false);
+  static_cast<void>(machine.run(atomics));
+  EXPECT_EQ(sanitizer.race_total(), 0u) << sanitizer.report();
+
+  // An atomic against a plain store still races.
+  const auto mixed = two_warp_kernel(w, dmm::ThreadOp::atomic_add(2),
+                                     dmm::ThreadOp::store_imm(2, 9),
+                                     /*barrier=*/false);
+  static_cast<void>(machine.run(mixed));
+  EXPECT_GE(sanitizer.race_total(), 1u) << sanitizer.report();
+}
+
+TEST(SanitizerRace, TwoReaderSlotsCatchEveryWarPair) {
+  const std::uint32_t w = 2;
+  core::RawMap map(w, 8);  // 16 words
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  // Three warps read cell 1 (several readers per warp), then warp 0
+  // writes it: the two distinct-warp reader slots must still expose a
+  // WAR against warps 1 and 2 even though warp 0's own read is benign.
+  dmm::Kernel kernel;
+  kernel.num_threads = 3 * w;
+  dmm::Instruction reads(kernel.num_threads, dmm::ThreadOp::none());
+  for (std::uint32_t t = 0; t < kernel.num_threads; ++t) {
+    reads[t] = dmm::ThreadOp::load(1);
+  }
+  kernel.push(std::move(reads));
+  dmm::Instruction write(kernel.num_threads, dmm::ThreadOp::none());
+  write[0] = dmm::ThreadOp::store_imm(1, 3);
+  kernel.push(std::move(write));
+  static_cast<void>(machine.run(kernel));
+  // WAR against at least one foreign warp (two when both slots held
+  // distinct foreign warps at write time).
+  EXPECT_GE(sanitizer.count(FindingKind::kWarRace), 1u) << sanitizer.report();
+  for (const Finding& f : sanitizer.findings()) {
+    if (f.kind != FindingKind::kWarRace) continue;
+    EXPECT_EQ(f.warp, 0u);
+    EXPECT_NE(f.other_warp, 0u);
+  }
+}
+
+TEST(SanitizerRace, FlushEmitsRaceCountersAndSiteLabels) {
+  const std::uint32_t w = 4;
+  core::RawMap map(w, w);
+  dmm::Dmm machine(small_config(w), map);
+  ShmemSanitizer sanitizer;
+  machine.set_sanitizer(&sanitizer);
+  machine.fill_identity();
+
+  const auto kernel =
+      two_warp_kernel(w, dmm::ThreadOp::store_imm(5, 1), dmm::ThreadOp::load(5),
+                      /*barrier=*/false, "stage", "drain");
+  static_cast<void>(machine.run(kernel));
+
+  telemetry::MetricsRegistry registry;
+  const telemetry::Labels labels = {{"scheme", "RAW"}};
+  sanitizer.flush_into(registry, labels);
+  ASSERT_NE(registry.find_counter("sanitizer.raw_race", labels), nullptr);
+  EXPECT_EQ(registry.find_counter("sanitizer.raw_race", labels)->value(), 1u);
+  EXPECT_EQ(registry.find_counter("sanitizer.races", labels)->value(), 1u);
+  telemetry::Labels site_labels = labels;
+  site_labels["site"] = "drain";
+  site_labels["kind"] = "raw-race";
+  ASSERT_NE(registry.find_counter("sanitizer.race_site", site_labels), nullptr);
+  EXPECT_EQ(registry.find_counter("sanitizer.race_site", site_labels)->value(),
+            1u);
+}
+
 }  // namespace
 }  // namespace rapsim::analyze

@@ -22,7 +22,7 @@ TEST(AluOps, LoadAddAccumulates) {
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
   machine.store(0, 10);
   machine.store(1, 32);
-  dmm::Kernel k{1, {}};
+  dmm::Kernel k{1, {}, {}};
   k.push({dmm::ThreadOp::load(0)});
   k.push({dmm::ThreadOp::load_add(1)});
   k.push({dmm::ThreadOp::store(2)});
@@ -35,7 +35,7 @@ TEST(AluOps, LoadMulAddUsesSecondRegister) {
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
   machine.store(0, 6);
   machine.store(1, 7);
-  dmm::Kernel k{1, {}};
+  dmm::Kernel k{1, {}, {}};
   k.push({dmm::ThreadOp::load(0, 1)});             // r1 = 6
   k.push({dmm::ThreadOp::load_mul_add(1, 0, 1)});  // r0 += r1 * mem[1]
   k.push({dmm::ThreadOp::store(2, 0)});
@@ -48,7 +48,7 @@ TEST(AluOps, MinMaxSwapsWhenOutOfOrder) {
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
   machine.store(0, 9);
   machine.store(1, 3);
-  dmm::Kernel k{1, {}};
+  dmm::Kernel k{1, {}, {}};
   k.push({dmm::ThreadOp::load(0, 0)});
   k.push({dmm::ThreadOp::load(1, 1)});
   k.push({dmm::ThreadOp::min_max(0, 1)});
@@ -62,7 +62,7 @@ TEST(AluOps, MinMaxSwapsWhenOutOfOrder) {
 TEST(AluOps, RegisterOnlyInstructionsAreFree) {
   const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
   dmm::Dmm machine(dmm::DmmConfig{4, 5}, *map);
-  dmm::Kernel with_alu{4, {}};
+  dmm::Kernel with_alu{4, {}, {}};
   dmm::Instruction load(4), alu(4), store(4);
   for (std::uint32_t t = 0; t < 4; ++t) {
     load[t] = dmm::ThreadOp::load(t, 0);
@@ -80,7 +80,7 @@ TEST(AluOps, RegisterOnlyInstructionsAreFree) {
 TEST(AluOps, MixingRegisterAndMemoryOpsThrows) {
   const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
-  dmm::Kernel k{4, {}};
+  dmm::Kernel k{4, {}, {}};
   dmm::Instruction mixed(4);
   mixed[0] = dmm::ThreadOp::load(0);
   mixed[1] = dmm::ThreadOp::min_max(0, 1);
@@ -91,7 +91,7 @@ TEST(AluOps, MixingRegisterAndMemoryOpsThrows) {
 TEST(AluOps, RegisterIndexOutOfRangeThrows) {
   const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
   dmm::Dmm machine(dmm::DmmConfig{4, 1}, *map);
-  dmm::Kernel k{1, {}};
+  dmm::Kernel k{1, {}, {}};
   k.push({dmm::ThreadOp::load(0, dmm::kRegistersPerThread)});
   EXPECT_THROW(machine.run(k), std::out_of_range);
 }

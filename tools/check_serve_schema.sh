@@ -69,6 +69,14 @@ rpc certify $CERTIFY --id=cold > "$WORK/certify_cold.json"
 rpc certify $CERTIFY --id=warm > "$WORK/certify_warm.json"
 rpc lint --file="$HERE/../examples/naive_transpose.kernel" \
     > "$WORK/lint.json"
+# Race-verdict coverage: a barrier-stripped tile kernel (must produce an
+# error-severity finding with an INSERT-BARRIER fix-it) and the same
+# request with the race pass disabled via params.races.
+RACY_TEXT='kernel stripped-tile\nwidth 16\nrows 16\nvar u 16\nsite stage store flat lane=1 u=16 warp=u\nsite drain load flat lane=16 u=1 warp=u\n'
+"$CLIENT" raw "{\"id\":\"racy\",\"method\":\"lint\",\"params\":{\"kernel\":\"$RACY_TEXT\",\"width\":16}}" \
+    --socket="$SOCK" --verbose > "$WORK/lint_racy.json"
+"$CLIENT" raw "{\"id\":\"noraces\",\"method\":\"lint\",\"params\":{\"kernel\":\"$RACY_TEXT\",\"width\":16,\"races\":false}}" \
+    --socket="$SOCK" --verbose > "$WORK/lint_noraces.json"
 rpc replay --trace="$HERE/../examples/contiguous_stride.trace" \
     --scheme=raw > "$WORK/replay.json"
 rpc advise --addresses="0,16,32" --rows=4 --width=16 --draws=4 \
@@ -135,8 +143,38 @@ for key in ("scheme", "kind", "bound", "rule", "claim"):
 
 lint_doc, _ = check_success(load("lint.json"), "lint", "lint")
 for key in ("kernel", "scheme", "severity", "clean", "worst",
-            "diagnostics"):
+            "diagnostics", "races"):
     require(key in lint_doc["result"], f"lint result has '{key}'")
+races = lint_doc["result"]["races"]
+for key in ("phases", "pairs_checked", "exhaustive", "race_free",
+            "findings"):
+    require(key in races, f"lint races block has '{key}'")
+require(races["race_free"] is True,
+        "the example transpose kernel is race-free")
+require("certificate" in races,
+        "a race-free lint result carries the freedom certificate")
+
+racy_doc, _ = check_success(load("lint_racy.json"), "lint_racy", "lint")
+racy = racy_doc["result"]["races"]
+require(racy["race_free"] is False, "the stripped tile races")
+require(racy["findings"], "the stripped tile has race findings")
+finding = racy["findings"][0]
+require(finding["kind"] in ("RAW", "WAW", "WAR"), "known race kind")
+for side in (finding["first"], finding["second"]):
+    for key in ("site", "dir", "lane", "warp", "address", "binding"):
+        require(key in side, f"race witness access has '{key}'")
+require(any(f["action"] == "INSERT-BARRIER"
+            for f in finding["fixits"]),
+        "the racy lint result carries an INSERT-BARRIER fix-it")
+require(racy_doc["result"]["severity"] == "error",
+        "a race lifts the report to error severity")
+
+noraces_doc, _ = check_success(load("lint_noraces.json"),
+                               "lint_noraces", "lint")
+require("races" not in noraces_doc["result"],
+        "params.races=false omits the races block")
+require(noraces_doc["result"]["severity"] != "error",
+        "without the race pass the missing barrier goes unnoticed")
 
 replay_doc, _ = check_success(load("replay.json"), "replay", "replay")
 for key in ("trace_hash", "scheme", "width", "latency", "seed", "time",

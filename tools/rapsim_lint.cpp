@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
     options.synthesize = args.get_bool("synthesize", false);
     options.synth.random_draws = args.get_uint("synth-draws", 48);
     options.synth.seed = args.get_uint("synth-seed", 1);
+    options.races = args.get_bool("races", true);  // --races=false to skip
 
     std::vector<analyze::KernelDesc> kernels;
     if (const auto file = args.get("file")) {

@@ -1,15 +1,58 @@
 #!/usr/bin/env bash
-# Build the whole tree with ASan + UBSan (RAPSIM_SANITIZE=ON) in a
-# dedicated build-asan/ directory and run the tier-1 test suite under the
+# Build the whole tree under a sanitizer set and run tests against the
 # instrumented binaries.
 #
-#   tools/run_sanitized.sh [extra ctest args...]
+#   tools/run_sanitized.sh [extra ctest args...]          # ASan + UBSan
+#   tools/run_sanitized.sh --tsan [extra ctest args...]   # ThreadSanitizer
 #
+# The default mode builds with RAPSIM_SANITIZE=ON (ASan + UBSan) in
+# build-asan/ and runs the full tier-1 suite. --tsan builds with
+# RAPSIM_SANITIZE=thread in build-tsan/ and runs the concurrency-bearing
+# suites (serve transport, worker-pool campaign, parallel helpers) —
+# the host-side counterpart of the guest-side race verifier. Exits 77
+# (the autotools SKIP convention) when the toolchain cannot link TSan
+# binaries, so CI treats an absent runtime as skipped, not failed.
 # Keeps the regular build/ untouched; re-runs are incremental.
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+MODE=address
+if [[ "${1:-}" == "--tsan" ]]; then
+  MODE=thread
+  shift
+fi
+
+if [[ "$MODE" == "thread" ]]; then
+  BUILD="$ROOT/build-tsan"
+
+  # Probe for a working TSan toolchain before the expensive build: some
+  # images ship the compiler flag but not libtsan.
+  probe="$(mktemp -d)"
+  trap 'rm -rf "$probe"' EXIT
+  echo 'int main() { return 0; }' > "$probe/probe.cpp"
+  if ! c++ -fsanitize=thread "$probe/probe.cpp" -o "$probe/probe" \
+      >/dev/null 2>&1; then
+    echo "run_sanitized.sh: ThreadSanitizer unavailable (cannot link" \
+         "-fsanitize=thread); skipping" >&2
+    exit 77
+  fi
+
+  cmake -B "$BUILD" -S "$ROOT" -DRAPSIM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=Debug
+  cmake --build "$BUILD" -j "$(nproc)"
+
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+  cd "$BUILD"
+  # The threaded subset: socket serve transport, campaign worker pool,
+  # and the parallel utility layer.
+  ctest --output-on-failure -j "$(nproc)" \
+    -R "Serve|Campaign|Parallel" "$@"
+  exit 0
+fi
+
 BUILD="$ROOT/build-asan"
 
 cmake -B "$BUILD" -S "$ROOT" -DRAPSIM_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
