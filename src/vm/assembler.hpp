@@ -1,0 +1,49 @@
+// The `.rvm` text assembler (DESIGN.md §15).
+//
+// Line-oriented format, one directive / label / instruction per line,
+// comments from '#' to end of line:
+//
+//   .vm 1                  # format version (required first directive)
+//   .name shearsort        # program name
+//   .const N 8*w           # assembly-time constant (w = warp width)
+//   .threads N             # thread count, a multiple of w
+//   .memory  w*w           # shared-memory words, a multiple of w
+//
+//   li   r1, 2*w+1         # immediates are constant expressions
+//   add  r2, r1, lane      # operands: rK, lane, warp, or an expression
+//   loop r3, N/2           # counted loop, r3 = 0 .. N/2-1
+//     ld   r4, r2          @row.ld    # optional site label for analysis
+//     st   r2, r4
+//   endl
+//   mask r5                # predication (nonzero = lane stays active)
+//   unmask
+//   top:                   # labels; bz/bnz take uniform branches only
+//   bnz  r6, top
+//   bar                    # block-wide barrier
+//
+// Constant expressions support + - * / % << >> ( ) over decimal / 0x
+// literals, `w`, and earlier `.const` names. Errors throw
+// std::invalid_argument prefixed with the 1-based line number, mirroring
+// parse_kernel_text.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vm/isa.hpp"
+
+namespace rapsim::vm {
+
+/// Assemble `.rvm` text at warp width `width` (the value of the `w`
+/// symbol). Throws std::invalid_argument ("line N: ...") on malformed
+/// input; never crashes on arbitrary text (fuzz-pinned by vm_test).
+[[nodiscard]] Program assemble(const std::string& text, std::uint32_t width);
+
+/// Render a program back to `.rvm` text. The output is normalized (all
+/// expressions folded to literals, loops/branches by numeric pc labels)
+/// and re-assembles to an identical program: assemble(disassemble(p),
+/// p.width) == p up to source line numbers.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace rapsim::vm

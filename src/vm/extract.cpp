@@ -1,0 +1,770 @@
+#include "vm/extract.hpp"
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace rapsim::vm {
+namespace {
+
+constexpr std::size_t kMaxSites = 2048;
+constexpr std::size_t kMaxVars = 1024;
+constexpr std::uint64_t kMaxSteps = 1u << 20;
+
+[[noreturn]] void fail(const Instr& instr, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(instr.line) + ": " +
+                              message);
+}
+
+// ------------------------------------------------------ expression trees
+
+struct Node;
+using NodeRef = std::shared_ptr<const Node>;
+
+struct Node {
+  enum class K { kConst, kLane, kWarp, kVar, kOp, kDevice };
+  K k = K::kConst;
+  std::uint64_t cval = 0;  // kConst
+  std::size_t var = 0;     // kVar: kernel variable index
+  Op op = Op::kAdd;        // kOp
+  NodeRef a, b;
+};
+
+NodeRef make_const(std::uint64_t value) {
+  auto node = std::make_shared<Node>();
+  node->k = Node::K::kConst;
+  node->cval = value;
+  return node;
+}
+
+NodeRef make_leaf(Node::K kind) {
+  auto node = std::make_shared<Node>();
+  node->k = kind;
+  return node;
+}
+
+NodeRef make_var(std::size_t index) {
+  auto node = std::make_shared<Node>();
+  node->k = Node::K::kVar;
+  node->var = index;
+  return node;
+}
+
+std::uint64_t eval_op(Op op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return b == 0 ? 0 : a / b;
+    case Op::kMod: return b == 0 ? 0 : a % b;
+    case Op::kAnd: return a & b;
+    case Op::kOr: return a | b;
+    case Op::kXor: return a ^ b;
+    case Op::kShl: return b >= 64 ? 0 : a << b;
+    case Op::kShr: return b >= 64 ? 0 : a >> b;
+    case Op::kMin: return a < b ? a : b;
+    case Op::kMax: return a > b ? a : b;
+    case Op::kSlt: return a < b ? 1 : 0;
+    case Op::kSeq: return a == b ? 1 : 0;
+    default: return 0;
+  }
+}
+
+NodeRef make_op(Op op, NodeRef a, NodeRef b) {
+  // Constant folding keeps trees (and opaque callbacks) small.
+  if (a->k == Node::K::kConst && b->k == Node::K::kConst &&
+      !((op == Op::kDiv || op == Op::kMod) && b->cval == 0)) {
+    return make_const(eval_op(op, a->cval, b->cval));
+  }
+  auto node = std::make_shared<Node>();
+  node->k = Node::K::kOp;
+  node->op = op;
+  node->a = std::move(a);
+  node->b = std::move(b);
+  return node;
+}
+
+bool contains(const NodeRef& node, Node::K kind) {
+  if (node->k == kind) return true;
+  if (node->k != Node::K::kOp) return false;
+  return contains(node->a, kind) || contains(node->b, kind);
+}
+
+/// Replace every leaf of `kind` with `replacement` (memoized — trees are
+/// DAGs through shared registers).
+NodeRef substitute(const NodeRef& node, Node::K kind,
+                   const NodeRef& replacement,
+                   std::map<const Node*, NodeRef>& memo) {
+  if (node->k == kind) return replacement;
+  if (node->k != Node::K::kOp) return node;
+  if (const auto found = memo.find(node.get()); found != memo.end()) {
+    return found->second;
+  }
+  NodeRef result = make_op(node->op,
+                           substitute(node->a, kind, replacement, memo),
+                           substitute(node->b, kind, replacement, memo));
+  memo.emplace(node.get(), result);
+  return result;
+}
+
+NodeRef substitute(const NodeRef& node, Node::K kind,
+                   const NodeRef& replacement) {
+  std::map<const Node*, NodeRef> memo;
+  return substitute(node, kind, replacement, memo);
+}
+
+/// Replace loop variable `var` with a constant (loop-exit values).
+NodeRef substitute_var(const NodeRef& node, std::size_t var,
+                       std::uint64_t value,
+                       std::map<const Node*, NodeRef>& memo) {
+  if (node->k == Node::K::kVar && node->var == var) {
+    return make_const(value);
+  }
+  if (node->k != Node::K::kOp) return node;
+  if (const auto found = memo.find(node.get()); found != memo.end()) {
+    return found->second;
+  }
+  NodeRef result =
+      make_op(node->op, substitute_var(node->a, var, value, memo),
+              substitute_var(node->b, var, value, memo));
+  memo.emplace(node.get(), result);
+  return result;
+}
+
+std::uint64_t eval_node(const Node& node, std::uint32_t lane,
+                        std::span<const std::uint64_t> binding) {
+  switch (node.k) {
+    case Node::K::kConst: return node.cval;
+    case Node::K::kLane: return lane;
+    case Node::K::kVar:
+      return node.var < binding.size() ? binding[node.var] : 0;
+    case Node::K::kOp:
+      return eval_op(node.op, eval_node(*node.a, lane, binding),
+                     eval_node(*node.b, lane, binding));
+    case Node::K::kWarp:
+    case Node::K::kDevice:
+      return 0;  // substituted / rejected before a callback is built
+  }
+  return 0;
+}
+
+// ------------------------------------------------- affine normalization
+
+struct Affine {
+  std::int64_t base = 0;
+  std::int64_t lane = 0;
+  std::map<std::size_t, std::int64_t> coeffs;
+
+  [[nodiscard]] bool is_const() const {
+    return lane == 0 && coeffs.empty();
+  }
+};
+
+std::optional<Affine> to_affine(const NodeRef& node) {
+  switch (node->k) {
+    case Node::K::kConst: {
+      Affine result;
+      result.base = static_cast<std::int64_t>(node->cval);
+      return result;
+    }
+    case Node::K::kLane: {
+      Affine result;
+      result.lane = 1;
+      return result;
+    }
+    case Node::K::kVar: {
+      Affine result;
+      result.coeffs[node->var] = 1;
+      return result;
+    }
+    case Node::K::kWarp:
+    case Node::K::kDevice:
+      return std::nullopt;
+    case Node::K::kOp: break;
+  }
+  const auto lhs = to_affine(node->a);
+  if (!lhs) return std::nullopt;
+  if (node->op == Op::kAdd || node->op == Op::kSub) {
+    const auto rhs = to_affine(node->b);
+    if (!rhs) return std::nullopt;
+    Affine result = *lhs;
+    const std::int64_t sign = node->op == Op::kAdd ? 1 : -1;
+    result.base += sign * rhs->base;
+    result.lane += sign * rhs->lane;
+    for (const auto& [var, coeff] : rhs->coeffs) {
+      if ((result.coeffs[var] += sign * coeff) == 0) {
+        result.coeffs.erase(var);
+      }
+    }
+    return result;
+  }
+  if (node->op == Op::kMul || node->op == Op::kShl) {
+    const auto rhs = to_affine(node->b);
+    if (!rhs) return std::nullopt;
+    const auto scaled = [](const Affine& expr,
+                           std::int64_t factor) -> Affine {
+      Affine result;
+      result.base = expr.base * factor;
+      result.lane = expr.lane * factor;
+      for (const auto& [var, coeff] : expr.coeffs) {
+        if (coeff * factor != 0) result.coeffs[var] = coeff * factor;
+      }
+      return result;
+    };
+    if (node->op == Op::kShl) {
+      if (!rhs->is_const() || rhs->base < 0 || rhs->base > 32) {
+        return std::nullopt;
+      }
+      return scaled(*lhs, std::int64_t{1} << rhs->base);
+    }
+    if (rhs->is_const()) return scaled(*lhs, rhs->base);
+    if (lhs->is_const()) return scaled(*rhs, lhs->base);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------ extractor
+
+struct MaskEntry {
+  enum class Kind {
+    kNoop,       // constant-true predicate
+    kAllOff,     // constant-false predicate: sites inside never execute
+    kLanePrefix,  // lane < K
+    kWarpPrefix,  // warp < K (fresh kernel variable `var` stands in)
+    kWarpGuard,   // v == warp for a bare loop variable v
+    kWarpExpr,    // expr == warp: sound but unattributable
+  };
+  Kind kind = Kind::kNoop;
+  std::uint32_t lanes = 0;   // kLanePrefix
+  std::size_t var = 0;       // kWarpPrefix / kWarpGuard
+  NodeRef expr;              // kWarpExpr
+  int id = 0;                // context identity for register reads
+};
+
+struct RegVal {
+  NodeRef node;
+  bool device = false;
+  std::vector<int> ctx;  // mask ids at the time of the write
+};
+
+struct LoopFrame {
+  std::set<int> written;
+  std::set<int> read_before_write;
+};
+
+struct Extractor {
+  const Program& program;
+  analyze::KernelDesc kernel;
+  bool complete = true;
+  std::vector<std::string> notes;
+
+  std::array<RegVal, kNumRegs> regs;
+  std::vector<MaskEntry> masks;
+  std::vector<LoopFrame> frames;
+  std::map<std::string, int> site_names;
+  std::size_t warp_var = SIZE_MAX;
+  int var_seq = 0;
+  int prefix_seq = 0;
+  int mask_seq = 0;
+  std::uint64_t steps = 0;
+  bool halted = false;
+
+  explicit Extractor(const Program& p) : program(p) {
+    kernel.name = p.name;
+    kernel.width = p.width;
+    kernel.rows = p.rows();
+    for (RegVal& reg : regs) reg.node = make_const(0);
+  }
+
+  std::vector<int> context() const {
+    std::vector<int> ids;
+    ids.reserve(masks.size());
+    for (const MaskEntry& mask : masks) ids.push_back(mask.id);
+    return ids;
+  }
+
+  bool context_is_prefix(const std::vector<int>& ctx) const {
+    if (ctx.size() > masks.size()) return false;
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+      if (masks[i].id != ctx[i]) return false;
+    }
+    return true;
+  }
+
+  std::size_t add_kernel_var(const Instr& instr, std::string name,
+                             std::uint64_t count) {
+    if (kernel.vars.size() >= kMaxVars) {
+      fail(instr, "kernel exceeds " + std::to_string(kMaxVars) +
+                      " loop variables");
+    }
+    kernel.vars.push_back({std::move(name), count});
+    return kernel.vars.size() - 1;
+  }
+
+  std::size_t ensure_warp_var(const Instr& instr) {
+    if (warp_var == SIZE_MAX) {
+      warp_var = add_kernel_var(instr, "warp", program.num_warps());
+    }
+    return warp_var;
+  }
+
+  void note_read(int reg) {
+    for (LoopFrame& frame : frames) {
+      if (!frame.written.count(reg)) frame.read_before_write.insert(reg);
+    }
+  }
+
+  void note_write(int reg) {
+    for (LoopFrame& frame : frames) frame.written.insert(reg);
+  }
+
+  NodeRef value(const Instr& instr, const Operand& operand,
+                bool allow_device = false) {
+    switch (operand.kind) {
+      case Operand::Kind::kReg: {
+        const auto r = static_cast<std::size_t>(operand.value);
+        note_read(static_cast<int>(r));
+        const RegVal& reg = regs[r];
+        if (reg.device) {
+          if (!allow_device) {
+            fail(instr, "r" + std::to_string(r) +
+                            " holds loaded data (device-valued); it may "
+                            "only be stored, cmpx'd or amo'd");
+          }
+          return reg.node;
+        }
+        if (!context_is_prefix(reg.ctx)) {
+          fail(instr, "r" + std::to_string(r) +
+                          " was written under a different mask; its value "
+                          "is not defined for every active lane here");
+        }
+        return reg.node;
+      }
+      case Operand::Kind::kImm: return make_const(operand.value);
+      case Operand::Kind::kLane: return make_leaf(Node::K::kLane);
+      case Operand::Kind::kWarp: return make_leaf(Node::K::kWarp);
+      case Operand::Kind::kNone: break;
+    }
+    fail(instr, "missing operand");
+  }
+
+  void write_reg(const Instr& instr, std::uint8_t rd, NodeRef node,
+                 bool device = false) {
+    // Mirrors exec: `ld` may re-bind a device register under a mask
+    // (slot reuse); interpreter-valued overwrites may not.
+    if (regs[rd].device && !device && !masks.empty()) {
+      fail(instr, "cannot overwrite device-valued r" + std::to_string(rd) +
+                      " under a mask");
+    }
+    regs[rd].node = std::move(node);
+    regs[rd].device = device;
+    regs[rd].ctx = context();
+    note_write(rd);
+  }
+
+  // --------------------------------------------------------- mask logic
+
+  MaskEntry classify_mask(const Instr& instr, const NodeRef& node) {
+    MaskEntry entry;
+    entry.id = ++mask_seq;
+    if (node->k == Node::K::kConst) {
+      entry.kind = node->cval ? MaskEntry::Kind::kNoop
+                              : MaskEntry::Kind::kAllOff;
+      return entry;
+    }
+    if (node->k != Node::K::kOp) {
+      fail(instr, "mask predicate not recognized (use lane < K, warp < K, "
+                  "or v == warp)");
+    }
+    if (node->op == Op::kSlt && node->b->k == Node::K::kConst) {
+      const std::uint64_t bound = node->b->cval;
+      if (node->a->k == Node::K::kLane) {
+        if (bound == 0) {
+          entry.kind = MaskEntry::Kind::kAllOff;
+        } else {
+          entry.kind = MaskEntry::Kind::kLanePrefix;
+          entry.lanes = static_cast<std::uint32_t>(
+              bound >= program.width ? program.width : bound);
+        }
+        return entry;
+      }
+      if (node->a->k == Node::K::kWarp) {
+        if (bound == 0) {
+          entry.kind = MaskEntry::Kind::kAllOff;
+          return entry;
+        }
+        require_no_warp_mask(instr);
+        const std::uint64_t warps = program.num_warps();
+        entry.kind = MaskEntry::Kind::kWarpPrefix;
+        entry.var = add_kernel_var(
+            instr, "q" + std::to_string(prefix_seq++),
+            bound >= warps ? warps : bound);
+        return entry;
+      }
+    }
+    if (node->op == Op::kSeq) {
+      NodeRef other;
+      if (node->a->k == Node::K::kWarp) other = node->b;
+      if (node->b->k == Node::K::kWarp) other = node->a;
+      if (other) {
+        if (contains(other, Node::K::kWarp) ||
+            contains(other, Node::K::kDevice)) {
+          fail(instr, "mask predicate compares warp against an expression "
+                      "that itself uses warp or loaded data");
+        }
+        require_no_warp_mask(instr);
+        if (other->k == Node::K::kVar) {
+          entry.kind = MaskEntry::Kind::kWarpGuard;
+          entry.var = other->var;
+        } else {
+          entry.kind = MaskEntry::Kind::kWarpExpr;
+          entry.expr = other;
+        }
+        return entry;
+      }
+    }
+    fail(instr, "mask predicate not recognized (use lane < K, warp < K, "
+                "or v == warp)");
+  }
+
+  void require_no_warp_mask(const Instr& instr) {
+    for (const MaskEntry& mask : masks) {
+      if (mask.kind == MaskEntry::Kind::kWarpPrefix ||
+          mask.kind == MaskEntry::Kind::kWarpGuard ||
+          mask.kind == MaskEntry::Kind::kWarpExpr) {
+        fail(instr, "nested warp-selecting masks are not extractable");
+      }
+    }
+  }
+
+  bool all_off() const {
+    for (const MaskEntry& mask : masks) {
+      if (mask.kind == MaskEntry::Kind::kAllOff) return true;
+    }
+    return false;
+  }
+
+  std::uint32_t active_lanes() const {
+    std::uint32_t lanes = program.width;
+    for (const MaskEntry& mask : masks) {
+      if (mask.kind == MaskEntry::Kind::kLanePrefix && mask.lanes < lanes) {
+        lanes = mask.lanes;
+      }
+    }
+    return lanes == program.width ? 0 : lanes;  // 0 = full width
+  }
+
+  const MaskEntry* warp_mask() const {
+    for (const MaskEntry& mask : masks) {
+      if (mask.kind == MaskEntry::Kind::kWarpPrefix ||
+          mask.kind == MaskEntry::Kind::kWarpGuard ||
+          mask.kind == MaskEntry::Kind::kWarpExpr) {
+        return &mask;
+      }
+    }
+    return nullptr;
+  }
+
+  // --------------------------------------------------------- site logic
+
+  void emit_site(const Instr& instr, const NodeRef& raw_address,
+                 analyze::AccessDir dir) {
+    if (all_off()) return;
+    if (kernel.sites.size() >= kMaxSites) {
+      fail(instr, "kernel exceeds " + std::to_string(kMaxSites) +
+                      " access sites");
+    }
+    if (contains(raw_address, Node::K::kDevice)) {
+      fail(instr, "address depends on loaded data");
+    }
+
+    // Resolve which warps execute this site, and what the `warp` leaf
+    // means inside the address.
+    const MaskEntry* warp_entry = warp_mask();
+    NodeRef warp_value;
+    std::string warp_name;
+    if (warp_entry == nullptr) {
+      if (program.num_warps() > 1) {
+        const std::size_t index = ensure_warp_var(instr);
+        warp_value = make_var(index);
+        warp_name = kernel.vars[index].name;
+      } else {
+        warp_value = make_const(0);
+      }
+    } else if (warp_entry->kind == MaskEntry::Kind::kWarpPrefix) {
+      warp_value = make_var(warp_entry->var);
+      warp_name = kernel.vars[warp_entry->var].name;
+    } else if (warp_entry->kind == MaskEntry::Kind::kWarpGuard) {
+      warp_value = make_var(warp_entry->var);
+      warp_name = kernel.vars[warp_entry->var].name;
+    } else {  // kWarpExpr: congestion-sound, executor unattributable
+      warp_value = warp_entry->expr;
+    }
+    const NodeRef address =
+        substitute(raw_address, Node::K::kWarp, warp_value);
+
+    analyze::AccessSite site;
+    site.dir = dir;
+    site.lanes = active_lanes();
+    site.warp = warp_name;
+    {
+      std::string base = instr.site.empty()
+                             ? std::string(op_name(instr.op)) + "@" +
+                                   std::to_string(instr.line)
+                             : instr.site;
+      const int occurrence = site_names[base]++;
+      site.name = occurrence == 0
+                      ? std::move(base)
+                      : base + "#" + std::to_string(occurrence);
+    }
+
+    if (const auto affine = to_affine(address)) {
+      site.form = analyze::IndexForm::kFlat;
+      site.flat.base = affine->base;
+      site.flat.lane_coeff = affine->lane;
+      if (!affine->coeffs.empty()) {
+        site.flat.coeffs.assign(affine->coeffs.rbegin()->first + 1, 0);
+        for (const auto& [var, coeff] : affine->coeffs) {
+          site.flat.coeffs[var] = coeff;
+        }
+      }
+    } else {
+      site.form = analyze::IndexForm::kOpaque;
+      site.opaque = [address](std::uint32_t lane,
+                              std::span<const std::uint64_t> binding) {
+        return eval_node(*address, lane, binding);
+      };
+    }
+    if (warp_entry != nullptr &&
+        warp_entry->kind == MaskEntry::Kind::kWarpExpr && complete) {
+      complete = false;
+      notes.push_back("site '" + site.name +
+                      "': executing warp is an expression; race analysis "
+                      "is not applicable");
+    }
+    kernel.sites.push_back(std::move(site));
+  }
+
+  // ---------------------------------------------------------- execution
+
+  bool range_has_barrier(std::size_t begin, std::size_t end) const {
+    for (std::size_t pc = begin; pc < end; ++pc) {
+      if (program.instrs[pc].op == Op::kBar) return true;
+    }
+    return false;
+  }
+
+  struct Snapshot {
+    std::array<RegVal, kNumRegs> regs;
+    std::vector<analyze::LoopVar> vars;
+    std::size_t num_sites;
+    bool complete;
+    std::size_t num_notes;
+    std::map<std::string, int> site_names;
+    std::vector<LoopFrame> frames;
+    std::size_t warp_var;
+    int var_seq, prefix_seq;
+  };
+
+  Snapshot snapshot() const {
+    return {regs,       kernel.vars, kernel.sites.size(), complete,
+            notes.size(), site_names, frames,             warp_var,
+            var_seq,    prefix_seq};
+  }
+
+  void restore(const Snapshot& snap) {
+    regs = snap.regs;
+    kernel.vars = snap.vars;
+    kernel.sites.resize(snap.num_sites);
+    complete = snap.complete;
+    notes.resize(snap.num_notes);
+    site_names = snap.site_names;
+    frames = snap.frames;
+    warp_var = snap.warp_var;
+    var_seq = snap.var_seq;
+    prefix_seq = snap.prefix_seq;
+  }
+
+  void run_loop(const Instr& header, std::size_t body_begin,
+                std::size_t body_end) {
+    const std::uint64_t trip = header.imm;
+    if (trip == 0) return;
+    const bool must_unroll = range_has_barrier(body_begin, body_end);
+
+    if (!must_unroll) {
+      // Symbolic attempt: one pass with the counter bound to a fresh
+      // loop variable. Valid unless the body reads a register it also
+      // writes (a recurrence) or halts.
+      const Snapshot snap = snapshot();
+      const std::size_t var =
+          add_kernel_var(header, "i" + std::to_string(var_seq++), trip);
+      write_reg(header, header.rd, make_var(var));
+      frames.push_back({});
+      frames.back().written.insert(header.rd);
+      const std::size_t mask_depth = masks.size();
+      exec_range(body_begin, body_end);
+      if (masks.size() != mask_depth) {
+        fail(header, "mask/unmask must balance within a loop body");
+      }
+      LoopFrame frame = std::move(frames.back());
+      frames.pop_back();
+      bool recurrence = halted;
+      for (const int reg : frame.read_before_write) {
+        if (reg != header.rd && frame.written.count(reg)) {
+          recurrence = true;
+          break;
+        }
+      }
+      if (!recurrence) {
+        // Loop-exit state: every register the body wrote holds its
+        // last-iteration value.
+        for (const int reg : frame.written) {
+          std::map<const Node*, NodeRef> memo;
+          regs[static_cast<std::size_t>(reg)].node = substitute_var(
+              regs[static_cast<std::size_t>(reg)].node, var, trip - 1, memo);
+        }
+        // Propagate the body's footprint to enclosing frames.
+        for (const int reg : frame.read_before_write) note_read(reg);
+        for (const int reg : frame.written) note_write(reg);
+        return;
+      }
+      restore(snap);
+      halted = false;
+    }
+
+    // Unrolled execution: one pass per iteration with a constant counter.
+    for (std::uint64_t i = 0; i < trip; ++i) {
+      write_reg(header, header.rd, make_const(i));
+      exec_range(body_begin, body_end);
+      if (halted) return;
+    }
+  }
+
+  void exec_range(std::size_t begin, std::size_t end) {
+    std::size_t pc = begin;
+    while (pc < end && !halted) {
+      if (++steps > kMaxSteps) {
+        throw std::invalid_argument(
+            "program exceeds the extraction step budget (" +
+            std::to_string(kMaxSteps) + ")");
+      }
+      const Instr& instr = program.instrs[pc];
+      switch (instr.op) {
+        case Op::kLi:
+          write_reg(instr, instr.rd, make_const(instr.imm));
+          break;
+        case Op::kMov:
+          write_reg(instr, instr.rd, value(instr, instr.a));
+          break;
+        case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv:
+        case Op::kMod: case Op::kAnd: case Op::kOr: case Op::kXor:
+        case Op::kShl: case Op::kShr: case Op::kMin: case Op::kMax:
+        case Op::kSlt: case Op::kSeq:
+          write_reg(instr, instr.rd,
+                    make_op(instr.op, value(instr, instr.a),
+                            value(instr, instr.b)));
+          break;
+        case Op::kLd:
+          emit_site(instr, value(instr, instr.a), analyze::AccessDir::kLoad);
+          write_reg(instr, instr.rd, make_leaf(Node::K::kDevice), true);
+          break;
+        case Op::kSt:
+          (void)value(instr, instr.b, /*allow_device=*/true);
+          emit_site(instr, value(instr, instr.a),
+                    analyze::AccessDir::kStore);
+          break;
+        case Op::kAmo: {
+          if (instr.b.kind != Operand::Kind::kReg ||
+              !regs[static_cast<std::size_t>(instr.b.value)].device) {
+            fail(instr, "amo value must be a device-valued register");
+          }
+          emit_site(instr, value(instr, instr.a),
+                    analyze::AccessDir::kAtomic);
+          break;
+        }
+        case Op::kCmpx: {
+          if (!regs[instr.rd].device || instr.a.kind != Operand::Kind::kReg ||
+              !regs[static_cast<std::size_t>(instr.a.value)].device) {
+            fail(instr, "cmpx operands must both hold loaded data");
+          }
+          break;  // register-only: no memory site
+        }
+        case Op::kLoop: {
+          if (instr.b.kind != Operand::Kind::kImm) {
+            fail(instr, "malformed loop (no endl link)");
+          }
+          const auto endl_pc = static_cast<std::size_t>(instr.b.value);
+          run_loop(instr, pc + 1, endl_pc);
+          pc = endl_pc;  // ++pc below skips the endl
+          break;
+        }
+        case Op::kEndl:
+          fail(instr, "endl without an open loop");
+        case Op::kMask:
+          masks.push_back(classify_mask(instr, value(instr, instr.a)));
+          break;
+        case Op::kUnmask:
+          if (masks.empty()) fail(instr, "unmask without a mask");
+          masks.pop_back();
+          break;
+        case Op::kBz:
+        case Op::kBnz:
+          fail(instr, "branches are not extractable to kernel IR (use "
+                      "loop/mask, or analyze the program trace-only)");
+        case Op::kBar:
+          if (!masks.empty()) {
+            fail(instr, "bar under a mask (barriers are block-wide)");
+          }
+          kernel.add_barrier();
+          break;
+        case Op::kHalt:
+          halted = true;
+          break;
+      }
+      ++pc;
+    }
+  }
+};
+
+}  // namespace
+
+ExtractResult extract_kernel(const Program& program) {
+  if (program.width == 0 || program.num_threads == 0 ||
+      program.num_threads % program.width != 0 ||
+      program.memory_words == 0 ||
+      program.memory_words % program.width != 0) {
+    throw std::invalid_argument("program has invalid geometry");
+  }
+  Extractor extractor(program);
+  extractor.exec_range(0, program.instrs.size());
+  if (!extractor.masks.empty()) {
+    throw std::invalid_argument(
+        "program ended with an active mask (missing unmask)");
+  }
+  if (extractor.kernel.sites.empty()) {
+    throw std::invalid_argument(
+        "program has no memory access sites to describe");
+  }
+  // Drop trailing barriers after the last site (vacuous in the IR).
+  while (!extractor.kernel.barriers.empty() &&
+         extractor.kernel.barriers.back() >= extractor.kernel.sites.size()) {
+    extractor.kernel.barriers.pop_back();
+  }
+  const std::vector<std::string> errors =
+      analyze::validate_kernel(extractor.kernel);
+  if (!errors.empty()) {
+    throw std::invalid_argument("extracted kernel is invalid: " + errors[0]);
+  }
+  ExtractResult result;
+  result.kernel = std::move(extractor.kernel);
+  result.complete = extractor.complete;
+  result.notes = std::move(extractor.notes);
+  return result;
+}
+
+}  // namespace rapsim::vm

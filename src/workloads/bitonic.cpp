@@ -5,6 +5,10 @@
 
 #include "core/factory.hpp"
 #include "util/rng.hpp"
+#include "vm/assembler.hpp"
+#include "vm/exec.hpp"
+#include "vm/extract.hpp"
+#include "vm/suite.hpp"
 
 namespace rapsim::workloads {
 
@@ -13,39 +17,9 @@ dmm::Kernel build_bitonic_kernel(std::uint64_t n, std::uint32_t width) {
     throw std::invalid_argument(
         "build_bitonic_kernel: n must be a power of two multiple of 2w");
   }
-  dmm::Kernel kernel;
-  kernel.num_threads = static_cast<std::uint32_t>(n / 2);
-
-  for (std::uint64_t k = 2; k <= n; k *= 2) {
-    for (std::uint64_t j = k / 2; j >= 1; j /= 2) {
-      dmm::Instruction load_lo(kernel.num_threads),
-          load_hi(kernel.num_threads), cmp(kernel.num_threads),
-          store_lo(kernel.num_threads), store_hi(kernel.num_threads);
-      for (std::uint64_t t = 0; t < n / 2; ++t) {
-        // Spread the n/2 pairs over the threads: insert a zero bit at
-        // position log2(j) so i has bit j clear and i|j is the partner.
-        const std::uint64_t i = ((t & ~(j - 1)) << 1) | (t & (j - 1));
-        const std::uint64_t partner = i | j;
-        const bool ascending = (i & k) == 0;
-        load_lo[t] = dmm::ThreadOp::load(i, 0);
-        load_hi[t] = dmm::ThreadOp::load(partner, 1);
-        cmp[t] = dmm::ThreadOp::min_max(0, 1);  // r0 = min, r1 = max
-        const std::uint64_t min_dst = ascending ? i : partner;
-        const std::uint64_t max_dst = ascending ? partner : i;
-        store_lo[t] = dmm::ThreadOp::store(min_dst, 0);
-        store_hi[t] = dmm::ThreadOp::store(max_dst, 1);
-      }
-      kernel.push(std::move(load_lo));
-      kernel.push(std::move(load_hi));
-      kernel.push(std::move(cmp));
-      kernel.push(std::move(store_lo));
-      kernel.push(std::move(store_hi));
-      // The next round's pairs cross warp boundaries: synchronize, as the
-      // CUDA bitonic kernel does with __syncthreads().
-      kernel.push_barrier();
-    }
-  }
-  return kernel;
+  const vm::Program program =
+      vm::assemble(vm::bitonic_text(n, width), width);
+  return vm::lower_program(program).kernel;
 }
 
 analyze::KernelDesc describe_bitonic_kernel(std::uint64_t n,
@@ -54,47 +28,12 @@ analyze::KernelDesc describe_bitonic_kernel(std::uint64_t n,
     throw std::invalid_argument(
         "describe_bitonic_kernel: n must be a power of two multiple of 2w");
   }
-  using analyze::AccessDir;
-  using analyze::AccessSite;
-  using analyze::IndexForm;
-
-  analyze::KernelDesc kernel;
-  kernel.name = "bitonic";
-  kernel.width = width;
-  kernel.rows = n / width;
-  kernel.vars = {{"u", (n / 2) / width}};
-
-  // The lo/hi streams depend only on the partner distance j (the stage k
-  // only flips which register lands where), so one site pair per j.
-  for (std::uint64_t j = n / 2; j >= 1; j /= 2) {
-    const auto make = [width, j](bool hi) {
-      return [width, j, hi](std::uint32_t lane,
-                            std::span<const std::uint64_t> binding) {
-        const std::uint64_t t =
-            (binding.empty() ? 0 : binding[0]) * width + lane;
-        const std::uint64_t i = ((t & ~(j - 1)) << 1) | (t & (j - 1));
-        return hi ? (i | j) : i;
-      };
-    };
-    AccessSite lo;
-    lo.name = "pair(j=" + std::to_string(j) + ").lo";
-    lo.dir = AccessDir::kStore;  // loaded and stored: identical streams
-    lo.form = IndexForm::kOpaque;
-    lo.warp = "u";
-    lo.opaque = make(false);
-    AccessSite hi;
-    hi.name = "pair(j=" + std::to_string(j) + ").hi";
-    hi.dir = AccessDir::kStore;
-    hi.form = IndexForm::kOpaque;
-    hi.warp = "u";
-    hi.opaque = make(true);
-    kernel.sites.push_back(std::move(lo));
-    kernel.sites.push_back(std::move(hi));
-    // build_bitonic_kernel synchronizes after every compare-exchange
-    // round; the next round's pairs cross warp boundaries.
-    if (j > 1) kernel.add_barrier();
-  }
-  return kernel;
+  vm::ExtractResult result =
+      vm::extract_kernel(vm::assemble(vm::bitonic_text(n, width), width));
+  // The program refuses inexact modeling, so extraction is always
+  // complete here; keep the catalog name the executable builders use.
+  result.kernel.name = "bitonic";
+  return std::move(result.kernel);
 }
 
 BitonicReport run_bitonic_sort(core::Scheme scheme, std::uint64_t n,

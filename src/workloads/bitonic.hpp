@@ -7,17 +7,27 @@
 // Kernel::push_barrier() here) — this workload is the library's stress
 // test for the barrier and multi-register machinery.
 //
-// Bank behaviour: with one thread per pair (i derived from t by inserting
-// a zero bit at the partner-distance position), each load stream covers a
-// 2x-dilated address range, so RAW congestion never exceeds 2 — bitonic
-// is a *well-behaved* kernel, and the interesting property is that RAP
-// does not break it: the randomized layout keeps both correctness and the
-// ~2 congestion level (the "no harm on good kernels" half of the paper's
-// pitch; reduction and matmul carry the "rescues bad kernels" half).
+// The network is authored as a VM program (vm/suite.hpp bitonic_text)
+// and lowered here: build_bitonic_kernel assembles and executes the
+// `.rvm` text, describe_bitonic_kernel extracts its loop-nest IR. The
+// program's pair layout keeps every address AFFINE in (lane, warp, loop
+// counters): active lanes form contiguous 2j-aligned blocks, the merge
+// direction is an explicit 2-trip loop, and once the partner distance
+// crosses the warp width a warp-prefix mask picks the owning warps.
 //
-// Each compare-exchange is five SIMD instructions (load lo -> r0,
-// load hi -> r1, min/max in registers, store r0, store r1); one thread
-// handles one pair, so n/2 threads run the network.
+// Bank behaviour: contiguous 2j-aligned blocks never split across
+// matrix rows, so RAW congestion is exactly 1 — bitonic is a
+// *well-behaved* kernel, and the interesting property is that RAP does
+// not break it: the randomized layout keeps both correctness and the
+// ~1 congestion level (the "no harm on good kernels" half of the
+// paper's pitch; reduction and matmul carry the "rescues bad kernels"
+// half). The affine price is occupancy, not conflicts: rounds with
+// partner distance j < w keep only j of w lanes active (a full-
+// occupancy affine layout with bound 1 does not exist).
+//
+// Each compare-exchange is five SIMD instructions (load lo, load hi,
+// min/max in registers, store min, store max); n/2 threads run the
+// network.
 
 #pragma once
 
@@ -36,11 +46,11 @@ namespace rapsim::workloads {
 [[nodiscard]] dmm::Kernel build_bitonic_kernel(std::uint64_t n,
                                                std::uint32_t width);
 
-/// Loop-nest IR of the network for the symbolic passes. The pair indexing
-/// (insert a zero bit at the partner-distance position) is not affine, so
-/// the sites are opaque callbacks analyzed by bounded enumeration; the
-/// address streams depend only on the partner distance j, so the IR has
-/// one lo/hi site pair per distinct j rather than per round.
+/// Loop-nest IR of the network for the symbolic passes, extracted from
+/// the same VM program build_bitonic_kernel lowers. Every site is
+/// affine (the old hand-written descriptor needed opaque callbacks), so
+/// the prover certifies the exact per-round bounds symbolically and the
+/// race verifier sees real warp attribution.
 [[nodiscard]] analyze::KernelDesc describe_bitonic_kernel(
     std::uint64_t n, std::uint32_t width);
 

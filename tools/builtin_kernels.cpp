@@ -5,6 +5,9 @@
 
 #include "hmm/tiled_transpose.hpp"
 #include "transpose/algorithms.hpp"
+#include "vm/assembler.hpp"
+#include "vm/extract.hpp"
+#include "vm/suite.hpp"
 #include "workloads/bitonic.hpp"
 #include "workloads/histogram.hpp"
 #include "workloads/matmul.hpp"
@@ -71,6 +74,17 @@ std::vector<analyze::KernelDesc> builtin_kernels(std::uint32_t width) {
       workloads::HistogramConfig{width, 2 * width, 32}));
   for (int axis = 0; axis < 4; ++axis) {
     kernels.push_back(tensor4d_kernel(width, axis));
+  }
+  // VM-program suite members with affine extractions (vm/suite.hpp):
+  // the raw-hostile sorting workloads the synthesizer certifies. The
+  // suite needs width >= 8 (shearsort's 8-row grid).
+  if (width >= 8) {
+    for (const char* name : {"vm-mergesort-round", "vm-shearsort"}) {
+      kernels.push_back(
+          vm::extract_kernel(
+              vm::assemble(vm::suite_program(name, width).text, width))
+              .kernel);
+    }
   }
   return kernels;
 }

@@ -4,9 +4,11 @@
 // Fig. 5 transpose variants, the tiled transpose, matmul, reduction,
 // bitonic, histogram — plus the Table IV 4-D tensor access layouts
 // (expressed directly here: they are access patterns, not kernels, so no
-// library owns a describe_ function for them). The catalog is the lint
-// driver's default target set and the population of the differential
-// test (tests/differential_kernel_test.cpp).
+// library owns a describe_ function for them) and the affine VM-program
+// suite members (vm-mergesort-round, vm-shearsort), whose IR is
+// extracted from their `.rvm` source rather than hand-written. The
+// catalog is the lint driver's default target set and the population of
+// the differential test (tests/differential_kernel_test.cpp).
 //
 // This lives in tools/ (not src/analyze/) so the analyze library never
 // links the workload libraries — the dependency points the other way.
@@ -21,9 +23,10 @@
 
 namespace rapsim::tools {
 
-/// Every built-in kernel description at warp width `w` (a power of two).
-/// Problem sizes scale with w: reduction/bitonic use n = 8w, the
-/// histogram uses 2w bins.
+/// Every built-in kernel description at warp width `w` (a power of two,
+/// >= 8 for the VM suite members). Problem sizes scale with w:
+/// reduction/bitonic use n = 8w, the histogram uses 2w bins, the VM
+/// mergesort round streams 4w runs of w keys.
 [[nodiscard]] std::vector<analyze::KernelDesc> builtin_kernels(
     std::uint32_t width);
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Validate the BENCH_vm.json perf-trajectory schema emitted by
+# bench/ext_vm_workloads.
+#
+#   tools/check_vm_schema.sh [path/to/ext_vm_workloads]
+#
+# Runs the VM workload bench in --bench-json --quick mode and checks the
+# emitted document parses, carries the generic BENCH_*.json aggregate
+# schema (see tools/check_bench_schema.sh), and pins the VM-specific
+# contract: the three phases assemble_lower / extract / replay are all
+# present and the config records width, the suite's program count, and
+# the replayed thread-access count. Registered as the ctest entry
+# `vm_schema` with SKIP_RETURN_CODE 77: a host without python3 skips
+# rather than fails.
+
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
+BIN="${1:-build/bench/ext_vm_workloads}"
+if [ ! -x "$BIN" ]; then
+  echo "check_vm_schema: bench binary not found: $BIN" >&2
+  exit 1
+fi
+
+json_schema_require_python3 check_vm_schema 77
+
+DOC="$(json_schema_tmpfile)"
+"$BIN" --bench-json="$DOC" --quick --width=16 > /dev/null
+
+json_schema_validate "$DOC" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"vm bench schema violation: {what}")
+
+require(doc.get("schema_version") == 1, "schema_version must be 1")
+require(doc.get("bench") == "ext_vm_workloads",
+        "bench must be ext_vm_workloads")
+require(isinstance(doc.get("unix_time"), int), "unix_time must be an int")
+
+machine = doc.get("machine")
+require(isinstance(machine, dict), "machine must be an object")
+for key in ("hostname", "os", "compiler"):
+    require(isinstance(machine.get(key), str) and machine[key],
+            f"machine.{key} must be a non-empty string")
+
+config = doc.get("config")
+require(isinstance(config, dict), "config must be an object")
+for key in ("width", "programs", "thread_accesses"):
+    require(isinstance(config.get(key), int) and config[key] > 0,
+            f"config.{key} must be a positive int")
+require(config["programs"] >= 6,
+        "config.programs must cover the six suite programs")
+
+metrics = doc.get("metrics")
+require(isinstance(metrics, list) and metrics,
+        "metrics must be a non-empty array")
+INT_FIELDS = ("samples", "items", "total_ns", "p50_ns", "p95_ns",
+              "p99_ns", "min_ns", "max_ns")
+NUM_FIELDS = ("ops_per_sec", "ns_per_op", "mean_ns", "stddev_ns")
+names = set()
+for metric in metrics:
+    require(isinstance(metric, dict), "each metric must be an object")
+    require(isinstance(metric.get("name"), str) and metric["name"],
+            "metric.name must be a non-empty string")
+    name = metric["name"]
+    names.add(name)
+    for key in INT_FIELDS:
+        require(isinstance(metric.get(key), int) and metric[key] >= 0,
+                f"{name}.{key} must be a non-negative int")
+    for key in NUM_FIELDS:
+        require(isinstance(metric.get(key), (int, float)),
+                f"{name}.{key} must be a number")
+    require(metric["samples"] > 0, f"{name} recorded no samples")
+    require(metric["ns_per_op"] > 0, f"{name}.ns_per_op must be positive")
+    require(metric["min_ns"] <= metric["p50_ns"] <= metric["max_ns"],
+            f"{name} percentiles out of order")
+
+for phase in ("assemble_lower", "extract", "replay"):
+    require(phase in names, f"missing phase metric '{phase}'")
+
+print(f"check_vm_schema: OK ({len(metrics)} metric(s), "
+      f"{config['programs']} programs at width {config['width']})")
+EOF

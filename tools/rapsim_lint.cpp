@@ -8,8 +8,10 @@
 //
 //   rapsim-lint                          # lint every built-in at w=32, RAW
 //   rapsim-lint --list-kernels           # catalog names (alias: --list)
+//   rapsim-lint --list-workloads         # catalog grouped by origin
 //   rapsim-lint --kernel=transpose-CRSW --scheme=rap
 //   rapsim-lint --file=examples/naive_transpose.kernel --format=json
+//   rapsim-lint --program=examples/shearsort.rvm   # lint a VM program
 //   rapsim-lint --width=64 --fail-on=warning
 //   rapsim-lint --kernel=transpose-CRSW --synthesize
 //
@@ -34,6 +36,8 @@
 #include "builtin_kernels.hpp"
 #include "telemetry/json.hpp"
 #include "util/cli.hpp"
+#include "vm/assembler.hpp"
+#include "vm/extract.hpp"
 
 namespace {
 
@@ -78,6 +82,23 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (args.get_bool("list-workloads", false)) {
+      // Catalog grouped by origin: "bitonic" and the vm-* entries are
+      // extracted from `.rvm` programs, everything else is hand-described.
+      const auto is_program = [](const std::string& name) {
+        return name == "bitonic" || name.rfind("vm-", 0) == 0;
+      };
+      const auto catalog = tools::builtin_kernels(width);
+      for (const bool program : {false, true}) {
+        std::cout << (program ? "program:\n" : "builtin:\n");
+        for (const auto& kernel : catalog) {
+          if (is_program(kernel.name) == program) {
+            std::cout << "  " << kernel.name << "\n";
+          }
+        }
+      }
+      return 0;
+    }
 
     analyze::LintOptions options;
     options.synthesize = args.get_bool("synthesize", false);
@@ -88,6 +109,21 @@ int main(int argc, char** argv) {
     std::vector<analyze::KernelDesc> kernels;
     if (const auto file = args.get("file")) {
       kernels.push_back(analyze::parse_kernel_text(read_file(*file), width));
+    } else if (const auto program = args.get("program")) {
+      // Assemble + extract loop-nest IR from a `.rvm` VM program. When the
+      // extraction cannot name every executing warp the congestion passes
+      // stay sound but race attribution would be unsound — skip it.
+      vm::ExtractResult extracted =
+          vm::extract_kernel(vm::assemble(read_file(*program), width));
+      if (!extracted.complete) {
+        for (const std::string& note : extracted.notes) {
+          std::cerr << "rapsim-lint: note: " << note << "\n";
+        }
+        std::cerr << "rapsim-lint: extraction incomplete; race analysis "
+                     "skipped\n";
+        options.races = false;
+      }
+      kernels.push_back(std::move(extracted.kernel));
     } else if (const auto name = args.get("kernel")) {
       // builtin_kernel's unknown-name error enumerates the catalog.
       kernels.push_back(tools::builtin_kernel(*name, width));

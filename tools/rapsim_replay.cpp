@@ -9,6 +9,9 @@
 //                     [--out=PATH]
 //             Traces record LOGICAL addresses, so a capture is
 //             scheme-independent; --out defaults to stdout (text only).
+//             --program=FILE.rvm assembles a VM program (vm/assembler.hpp)
+//             at --width and captures its lowered kernel instead of a
+//             catalog workload.
 //
 //   replay    execute a trace under a chosen scheme and print its stats:
 //               $ rapsim-replay replay TRACE [--scheme=rap] [--seed=1]
@@ -27,8 +30,9 @@
 //                     [--trials=4] [--seed=1] [--latency=1]
 //                     [--widths=16,32] [--results=results/replay]
 //
-// Workloads: transpose-{crsw,srcw,drdw}, reduction-{interleaved,
-// sequential}, matmul-{rowmajorb,transposedb}, bitonic.
+// Workloads: `rapsim-replay --list-workloads` prints the catalog grouped
+// by origin — the C++ builtin builders and the `.rvm` VM-program suite
+// (bitonic, vm-shearsort, vm-mergesort-round, vm-permute-*).
 //
 // Quickstart (uses the example traces shipped in examples/):
 //   $ rapsim-replay replay examples/contiguous_stride.trace --scheme=raw
@@ -52,6 +56,8 @@
 #include "replay/trace.hpp"
 #include "telemetry/json.hpp"
 #include "util/cli.hpp"
+#include "vm/assembler.hpp"
+#include "vm/exec.hpp"
 #include "workload_kernels.hpp"
 
 namespace {
@@ -68,14 +74,16 @@ std::string read_text_file(const std::string& path) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s capture --workload=NAME [--width=W] [--latency=L] "
+               "usage: %s capture [--workload=NAME | --program=FILE.rvm] "
+               "[--width=W] [--latency=L] "
                "[--encoding=text|binary] [--out=PATH]\n"
                "       %s replay TRACE [--scheme=S | --map=SPEC | "
                "--map-file=PATH] [--seed=N] [--latency=L] "
                "[--certify] [--format=json]\n"
                "       %s campaign TRACE... [--schemes=LIST] [--trials=N] "
-               "[--seed=N] [--latency=L] [--widths=LIST] [--results=DIR]\n",
-               argv0, argv0, argv0);
+               "[--seed=N] [--latency=L] [--widths=LIST] [--results=DIR]\n"
+               "       %s --list-workloads [--width=W]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -104,6 +112,10 @@ std::vector<core::Scheme> parse_schemes_csv(const std::string& csv) {
 }
 
 int cmd_capture(const util::CliArgs& args) {
+  const auto program_path = args.get("program");
+  if (program_path && args.get("workload")) {
+    throw std::invalid_argument("--workload and --program are exclusive");
+  }
   const std::string workload = args.get_string("workload", "transpose-crsw");
   const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
   const auto latency =
@@ -124,7 +136,17 @@ int cmd_capture(const util::CliArgs& args) {
     throw std::invalid_argument("--encoding=binary requires --out=PATH");
   }
 
-  const tools::WorkloadKernel entry = tools::workload_kernel(workload, width);
+  tools::WorkloadKernel entry;
+  if (program_path) {
+    // Assemble + lower the user's `.rvm` program at the requested width.
+    const vm::Program program =
+        vm::assemble(read_text_file(*program_path), width);
+    vm::LoweredProgram lowered = vm::lower_program(program);
+    entry = {program.name, std::move(lowered.kernel), lowered.rows,
+             "program"};
+  } else {
+    entry = tools::workload_kernel(workload, width);
+  }
   // Capture records logical addresses; run under the identity (RAW) map.
   const auto map =
       core::make_matrix_map(core::Scheme::kRaw, width, entry.rows, 1);
@@ -140,7 +162,7 @@ int cmd_capture(const util::CliArgs& args) {
     std::fprintf(stderr,
                  "captured %s: %zu records, %llu threads, hash %016llx -> "
                  "%s\n",
-                 workload.c_str(), trace.records.size(),
+                 entry.name.c_str(), trace.records.size(),
                  static_cast<unsigned long long>(trace.header.num_threads),
                  static_cast<unsigned long long>(replay::content_hash(trace)),
                  out.c_str());
@@ -260,6 +282,23 @@ int cmd_replay(const util::CliArgs& args, const std::string& path) {
   return 0;
 }
 
+int cmd_list_workloads(const util::CliArgs& args) {
+  const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
+  std::vector<tools::WorkloadKernel> catalog = tools::workload_kernels(width);
+  // Group by origin: the C++ builders first, then the VM programs.
+  for (const char* origin : {"builtin", "program"}) {
+    std::printf("%s:\n", origin);
+    for (const tools::WorkloadKernel& entry : catalog) {
+      if (entry.origin != origin) continue;
+      std::printf("  %-22s %llu threads, %llu x %u words\n",
+                  entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.kernel.num_threads),
+                  static_cast<unsigned long long>(entry.rows), width);
+    }
+  }
+  return 0;
+}
+
 int cmd_campaign(const util::CliArgs& args,
                  std::vector<std::string> trace_paths) {
   replay::CampaignConfig config;
@@ -296,10 +335,13 @@ int cmd_campaign(const util::CliArgs& args,
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   const std::vector<std::string>& positional = args.positional();
-  if (positional.empty()) return usage(argv[0]);
-  const std::string& command = positional[0];
-
   try {
+    if (args.get_bool("list-workloads", false)) {
+      if (!positional.empty()) return usage(argv[0]);
+      return cmd_list_workloads(args);
+    }
+    if (positional.empty()) return usage(argv[0]);
+    const std::string& command = positional[0];
     if (command == "capture") {
       if (positional.size() != 1) return usage(argv[0]);
       return cmd_capture(args);

@@ -108,14 +108,41 @@ mkdir -p results/bench
   --bench-json=results/bench/BENCH_serve.json --quick
 "$BUILD_DIR"/bench/ext_synthesis \
   --bench-json=results/bench/BENCH_synth.json --quick
+"$BUILD_DIR"/bench/ext_vm_workloads \
+  --bench-json=results/bench/BENCH_vm.json --quick
 tools/check_bench_schema.sh "$BUILD_DIR"/bench/theorem2_bound_sweep \
   || [ $? -eq 77 ]
+tools/check_vm_schema.sh "$BUILD_DIR"/bench/ext_vm_workloads \
+  || [ $? -eq 77 ]
 COMPARE="$BUILD_DIR/tools/bench_compare"
-for baseline in BENCH_table2.json BENCH_serve.json BENCH_synth.json; do
+for baseline in BENCH_table2.json BENCH_serve.json BENCH_synth.json \
+                BENCH_vm.json; do
   [ -f "$baseline" ] || continue
   "$COMPARE" "$baseline" "results/bench/$baseline" \
     || echo "bench_compare: $baseline moved past the threshold (see above)"
 done
+
+echo "=== workload VM suite -> results/vm/ ==="
+mkdir -p results/vm
+# The Sitchinava suite as .rvm programs (DESIGN.md §15): capture every
+# program-origin workload's deterministic address stream once, sweep the
+# captured traces through a resumable campaign, and lint the shipped
+# example program end to end (extraction -> congestion proof -> layout
+# synthesis -> race certificate) into one JSON report.
+VM_TRACES=()
+for workload in bitonic vm-shearsort vm-mergesort-round \
+                vm-permute-identity vm-permute-bitrev vm-permute-derange; do
+  "$REPLAY" capture --workload="$workload" --width=16 \
+    > "results/vm/${workload}.trace"
+  VM_TRACES+=("results/vm/${workload}.trace")
+done
+"$REPLAY" capture --program=examples/shearsort.rvm --width=16 \
+  > results/vm/shearsort_example.trace
+"$REPLAY" campaign "${VM_TRACES[@]}" results/vm/shearsort_example.trace \
+  --schemes=raw,ras,rap,pad --trials=8 --results=results/vm/campaign
+"$BUILD_DIR"/tools/rapsim-lint --program=examples/shearsort.rvm \
+  --width=16 --synthesize --format=json --fail-on=never \
+  --out=results/vm/lint_shearsort_example.json
 
 echo "=== static lint reports -> results/analysis/ ==="
 mkdir -p results/analysis

@@ -3,6 +3,9 @@
 #include <stdexcept>
 
 #include "transpose/algorithms.hpp"
+#include "vm/assembler.hpp"
+#include "vm/exec.hpp"
+#include "vm/suite.hpp"
 #include "workloads/bitonic.hpp"
 #include "workloads/matmul.hpp"
 #include "workloads/reduction.hpp"
@@ -44,8 +47,19 @@ std::vector<WorkloadKernel> workload_kernels(std::uint32_t width) {
        workloads::build_matmul_kernel(workloads::MatmulLayout::kTransposedB,
                                       arrays),
        arrays.rows()});
-  catalog.push_back(
-      {"bitonic", workloads::build_bitonic_kernel(n, width), n / width});
+  // bitonic is lowered from its VM program (workloads/bitonic.cpp);
+  // every vm-* entry below assembles and lowers its `.rvm` source here.
+  catalog.push_back({"bitonic", workloads::build_bitonic_kernel(n, width),
+                     n / width, "program"});
+  if (width >= 8) {  // the suite needs shearsort's 8-row grid
+    for (vm::SuiteProgram& entry : vm::suite_programs(width)) {
+      if (entry.name == "vm-bitonic") continue;  // aliased by "bitonic"
+      const vm::LoweredProgram lowered =
+          vm::lower_program(vm::assemble(entry.text, width));
+      catalog.push_back(
+          {std::move(entry.name), lowered.kernel, lowered.rows, "program"});
+    }
+  }
   return catalog;
 }
 

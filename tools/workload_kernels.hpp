@@ -23,16 +23,22 @@ namespace rapsim::tools {
 
 /// One capture-ready workload: the kernel plus the number of rows the
 /// backing width-wide MatrixMap needs (memory footprint = rows * width).
+/// `origin` records where the kernel came from: "builtin" for the C++
+/// builders, "program" for kernels lowered from `.rvm` VM programs
+/// (vm/suite.hpp) — rapsim-replay's --list-workloads groups by it.
 struct WorkloadKernel {
   std::string name;
   dmm::Kernel kernel;
   std::uint64_t rows = 0;
+  std::string origin = "builtin";
 };
 
-/// Every executable built-in at warp width `w` (a power of two):
+/// Every executable built-in at warp width `w` (a power of two >= 8):
 /// transpose-{crsw,srcw,drdw}, reduction-{interleaved,sequential},
-/// matmul-{rowmajorb,transposedb}, bitonic. Reduction and bitonic run
-/// over n = 8w elements.
+/// matmul-{rowmajorb,transposedb}, bitonic (lowered from its VM
+/// program), plus the VM suite: vm-shearsort, vm-mergesort-round and
+/// vm-permute-{identity,bitrev,derange}. Reduction and bitonic run over
+/// n = 8w elements.
 [[nodiscard]] std::vector<WorkloadKernel> workload_kernels(
     std::uint32_t width);
 
