@@ -11,12 +11,22 @@
 //   tiled+diag + RAW — the hand-tuned diagonal tile (expert baseline)
 //
 //   $ ext_tiled_transpose [--width=32] [--tiles=1,2,4] [--seeds=20]
+//                         [--metrics-out=PATH]
+//
+// --metrics-out writes a MetricsRegistry JSON document with the
+// hmm.{global,shared}_{time_units,slots} counters of the seed-1 run of
+// every (strategy, scheme, N) cell — the same document shape every other
+// subsystem drops under results/metrics/.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 
 #include "core/factory.hpp"
 #include "hmm/tiled_transpose.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -25,13 +35,20 @@ namespace {
 using namespace rapsim;
 
 double avg_cost(hmm::TransposeStrategy strategy, core::Scheme scheme,
-                const hmm::TiledTransposeConfig& config, std::uint64_t seeds) {
+                const hmm::TiledTransposeConfig& config, std::uint64_t seeds,
+                telemetry::MetricsRegistry* registry) {
   const std::uint64_t n =
       scheme == core::Scheme::kRaw ? 1 : seeds;  // RAW is deterministic
   double sum = 0;
   for (std::uint64_t seed = 1; seed <= n; ++seed) {
     const auto report = hmm::run_tiled_transpose(strategy, scheme, config, seed);
     if (!report.correct) std::printf("!! INCORRECT TRANSPOSE !!\n");
+    if (registry && seed == 1) {
+      report.stats.flush_into(*registry,
+                              {{"strategy", hmm::strategy_name(strategy)},
+                               {"scheme", core::scheme_name(scheme)},
+                               {"n", std::to_string(config.n())}});
+    }
     sum += static_cast<double>(report.total_cost());
   }
   return sum / static_cast<double>(n);
@@ -44,6 +61,9 @@ int main(int argc, char** argv) {
   const auto width = static_cast<std::uint32_t>(args.get_uint("width", 32));
   const auto tiles = args.get_uint_list("tiles", {1, 2, 4});
   const std::uint64_t seeds = args.get_uint("seeds", 20);
+  const auto metrics_out = args.get("metrics-out");
+  telemetry::MetricsRegistry registry;
+  telemetry::MetricsRegistry* sink = metrics_out ? &registry : nullptr;
 
   std::printf(
       "== Extension: tiled transpose on the HMM (w = %u; cost = 8 x global "
@@ -66,15 +86,15 @@ int main(int argc, char** argv) {
     config.width = width;
     config.tiles = static_cast<std::uint32_t>(t);
     const double naive = avg_cost(hmm::TransposeStrategy::kNaive,
-                                  core::Scheme::kRaw, config, seeds);
+                                  core::Scheme::kRaw, config, seeds, sink);
     const double tiled_raw = avg_cost(hmm::TransposeStrategy::kTiled,
-                                      core::Scheme::kRaw, config, seeds);
+                                      core::Scheme::kRaw, config, seeds, sink);
     const double tiled_ras = avg_cost(hmm::TransposeStrategy::kTiled,
-                                      core::Scheme::kRas, config, seeds);
+                                      core::Scheme::kRas, config, seeds, sink);
     const double tiled_rap = avg_cost(hmm::TransposeStrategy::kTiled,
-                                      core::Scheme::kRap, config, seeds);
+                                      core::Scheme::kRap, config, seeds, sink);
     const double diag = avg_cost(hmm::TransposeStrategy::kTiledDiagonal,
-                                 core::Scheme::kRaw, config, seeds);
+                                 core::Scheme::kRaw, config, seeds, sink);
     table.row()
         .add(config.n())
         .add(naive, 0)
@@ -86,6 +106,13 @@ int main(int argc, char** argv) {
         .add(tiled_rap / diag, 2);
   }
   table.print(std::cout, args.get_table_style());
+
+  if (metrics_out) {
+    std::ofstream out(*metrics_out);
+    if (!out) throw std::runtime_error("cannot write " + *metrics_out);
+    out << registry.to_json() << '\n';
+    std::printf("\nwrote %s\n", metrics_out->c_str());
+  }
 
   std::printf(
       "\nExpected shape: naive pays w uncoalesced global slots per warp;\n"

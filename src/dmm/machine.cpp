@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "analyze/sanitizer.hpp"
+#include "hier/scheduler.hpp"
 #include "telemetry/run_telemetry.hpp"
 
 namespace rapsim::dmm {
@@ -305,11 +306,9 @@ Dmm::WarpAccess Dmm::perform_warp_access(const Instruction& instr,
   return result;
 }
 
-RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
-  if (kernel.num_threads == 0) return {};
+void Dmm::begin_run(const Kernel& kernel) {
   registers_.assign(
       static_cast<std::size_t>(kernel.num_threads) * kRegistersPerThread, 0);
-  if (trace) trace->clear();
   if (telemetry_) telemetry_->reset(config_.width);
   if (sanitizer_) sanitizer_->begin_run(kernel.labels);
   if (capture_) {
@@ -321,157 +320,145 @@ RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
     }
     capture_->begin_kernel(kernel.num_threads, config_.width, memory_.size());
   }
+}
 
-  const std::uint32_t w = config_.width;
-  const std::uint32_t num_warps = (kernel.num_threads + w - 1) / w;
-  const std::size_t num_instr = kernel.instructions.size();
+Dmm::WarpAccess Dmm::warp_access(const Kernel& kernel,
+                                 std::uint32_t instr_idx,
+                                 std::uint32_t warp) {
+  const std::uint32_t begin = warp * config_.width;
+  const std::uint32_t end =
+      std::min(begin + config_.width, kernel.num_threads);
+  return perform_warp_access(kernel.instructions[instr_idx], instr_idx, begin,
+                             end);
+}
 
-  const auto warp_has_active = [&](std::uint32_t warp, std::size_t instr_idx) {
-    const Instruction& instr = kernel.instructions[instr_idx];
-    const std::uint32_t begin = warp * w;
-    const std::uint32_t end = std::min(begin + w, kernel.num_threads);
-    for (std::uint32_t t = begin; t < end; ++t) {
-      if (instr[t].kind != OpKind::kNone) return true;
-    }
-    return false;
-  };
+void Dmm::finish_barrier(std::uint32_t instr_idx) {
+  if (capture_) capture_->on_barrier(instr_idx);
+  // The barrier orders all earlier accesses before all later ones:
+  // advance the race-detection epoch.
+  if (sanitizer_) sanitizer_->note_barrier();
+}
 
-  std::vector<std::size_t> next_instr(num_warps, 0);
-  std::vector<std::uint64_t> ready(num_warps, 0);  // earliest issue slot
+// --- KernelWarpSource ------------------------------------------------------
 
+KernelWarpSource::KernelWarpSource(Dmm& machine, const Kernel& kernel)
+    : machine_(&machine),
+      kernel_(&kernel),
+      width_(machine.config().width),
+      num_warps_((kernel.num_threads + machine.config().width - 1) /
+                 machine.config().width),
+      next_instr_(num_warps_, 0) {
   // Skip leading instructions in which a warp has nothing to do (no cost:
   // warps with no pending memory request are not dispatched).
-  const auto advance_idle = [&](std::uint32_t warp) {
-    while (next_instr[warp] < num_instr &&
-           !warp_has_active(warp, next_instr[warp])) {
-      ++next_instr[warp];
-    }
-  };
-  for (std::uint32_t warp = 0; warp < num_warps; ++warp) advance_idle(warp);
+  for (std::uint32_t warp = 0; warp < num_warps_; ++warp) advance_idle(warp);
+}
 
-  RunStats stats;
-  std::uint64_t pipeline_next = 0;  // next free MMU pipeline slot
-  std::uint64_t last_completion = 0;
-  double congestion_sum = 0.0;
-  std::uint32_t rr = 0;  // round-robin pointer
+bool KernelWarpSource::warp_has_active(std::uint32_t warp,
+                                       std::size_t instr_idx) const {
+  const Instruction& instr = kernel_->instructions[instr_idx];
+  const std::uint32_t begin = warp * width_;
+  const std::uint32_t end = std::min(begin + width_, kernel_->num_threads);
+  for (std::uint32_t t = begin; t < end; ++t) {
+    if (instr[t].kind != OpKind::kNone) return true;
+  }
+  return false;
+}
 
-  const auto at_barrier = [&](std::uint32_t warp) {
-    return next_instr[warp] < num_instr &&
-           kernel.instructions[next_instr[warp]][warp * w].kind ==
-               OpKind::kBarrier;
-  };
+void KernelWarpSource::advance_idle(std::uint32_t warp) {
+  while (next_instr_[warp] < kernel_->instructions.size() &&
+         !warp_has_active(warp, next_instr_[warp])) {
+    ++next_instr_[warp];
+  }
+}
 
-  for (;;) {
-    // Find the next dispatchable warp in round-robin order. Warps parked
-    // at a barrier are not dispatchable; they release together once every
-    // other warp has arrived (i.e. no pending warp is before the barrier).
-    std::uint32_t chosen = num_warps;
-    std::uint64_t min_ready = std::numeric_limits<std::uint64_t>::max();
-    bool any_pending = false;
-    bool any_non_barrier = false;
-    for (std::uint32_t k = 0; k < num_warps; ++k) {
-      const std::uint32_t warp = (rr + k) % num_warps;
-      if (next_instr[warp] >= num_instr) continue;
-      any_pending = true;
-      if (at_barrier(warp)) continue;
-      any_non_barrier = true;
-      min_ready = std::min(min_ready, ready[warp]);
-      if (ready[warp] <= pipeline_next && chosen == num_warps) {
-        chosen = warp;
-      }
-    }
-    if (!any_pending) break;
-    if (chosen == num_warps) {
-      if (any_non_barrier) {
-        // All runnable warps are still waiting on outstanding requests;
-        // the pipeline idles until the first becomes ready.
-        if (telemetry_) {
-          telemetry_->pipeline_idle_slots += min_ready - pipeline_next;
-        }
-        pipeline_next = min_ready;
-        continue;
-      }
-      // Every pending warp is parked at a barrier: release the earliest
-      // barrier group once all outstanding requests have drained.
-      std::size_t barrier_instr = num_instr;
-      for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
-        if (next_instr[warp] < num_instr) {
-          barrier_instr = std::min(barrier_instr, next_instr[warp]);
-        }
-      }
-      std::uint64_t release = 0;
-      for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
-        release = std::max(release, ready[warp]);
-      }
-      if (capture_) {
-        // Exactly one release group fires per barrier instruction (no
-        // warp can pass a barrier other warps still approach), so this
-        // reports each barrier once.
-        capture_->on_barrier(static_cast<std::uint32_t>(barrier_instr));
-      }
-      // The barrier orders all earlier accesses before all later ones:
-      // advance the race-detection epoch.
-      if (sanitizer_) sanitizer_->note_barrier();
-      for (std::uint32_t warp = 0; warp < num_warps; ++warp) {
-        if (next_instr[warp] == barrier_instr) {
-          ready[warp] = release;
-          ++next_instr[warp];
-          advance_idle(warp);
-        }
-      }
-      continue;
-    }
+bool KernelWarpSource::done(std::uint32_t warp) const {
+  return next_instr_[warp] >= kernel_->instructions.size();
+}
 
-    const std::uint32_t begin = chosen * w;
-    const std::uint32_t end = std::min(begin + w, kernel.num_threads);
-    const WarpAccess access = perform_warp_access(
-        kernel.instructions[next_instr[chosen]],
-        static_cast<std::uint32_t>(next_instr[chosen]), begin, end);
+bool KernelWarpSource::at_barrier(std::uint32_t warp) const {
+  return next_instr_[warp] < kernel_->instructions.size() &&
+         kernel_->instructions[next_instr_[warp]][warp * width_].kind ==
+             OpKind::kBarrier;
+}
 
-    if (access.congestion == 0) {
-      // Register-only instruction: executed above, no pipeline traffic and
-      // no completion to wait for.
-      ++next_instr[chosen];
-      advance_idle(chosen);
-      rr = (chosen + 1) % num_warps;
-      continue;
-    }
+std::size_t KernelWarpSource::pc(std::uint32_t warp) const {
+  return next_instr_[warp];
+}
 
-    const std::uint64_t start = pipeline_next;
-    const std::uint32_t stages = access.congestion;  // >= 1 when active
-    const std::uint64_t completion = start + stages + config_.latency - 1;
+hier::IssueResult KernelWarpSource::issue(std::uint32_t warp) {
+  const Dmm::WarpAccess access = machine_->warp_access(
+      *kernel_, static_cast<std::uint32_t>(next_instr_[warp]), warp);
+  return {access.congestion, access.active_threads, access.unique_requests,
+          0};
+}
 
-    if (trace) {
-      trace->dispatches.push_back(
-          {chosen, static_cast<std::uint32_t>(next_instr[chosen]), start,
-           stages, completion, access.active_threads, access.unique_requests});
-    }
-    stats.total_stages += stages;
-    stats.max_congestion = std::max(stats.max_congestion, stages);
-    congestion_sum += stages;
-    ++stats.dispatches;
-    last_completion = std::max(last_completion, completion);
+void KernelWarpSource::advance(std::uint32_t warp) {
+  ++next_instr_[warp];
+  advance_idle(warp);
+}
 
-    if (telemetry_) {
-      telemetry_->congestion.add(stages);
-      ++telemetry_->dispatches;
-      telemetry_->total_slots += stages;
-      // The warp was eligible from ready[chosen]; any gap to the dispatch
-      // slot is round-robin queueing delay.
-      telemetry_->warp_stall_slots += start - ready[chosen];
-    }
+// --- Dmm::run on the event core --------------------------------------------
 
-    pipeline_next = start + stages;
-    ready[chosen] = completion + 1;
-    ++next_instr[chosen];
-    advance_idle(chosen);
-    rr = (chosen + 1) % num_warps;
+namespace {
+
+/// Trace + telemetry + barrier side effects of one Dmm::run.
+class DmmRunHooks final : public hier::CoreHooks {
+ public:
+  DmmRunHooks(Dmm& machine, telemetry::RunTelemetry* telemetry, Trace* trace)
+      : machine_(machine), telemetry_(telemetry), trace_(trace) {}
+
+  void on_idle(std::uint64_t slots) override {
+    if (telemetry_) telemetry_->pipeline_idle_slots += slots;
   }
 
-  stats.time = last_completion;
-  stats.avg_congestion =
-      stats.dispatches ? congestion_sum / static_cast<double>(stats.dispatches)
-                       : 0.0;
+  void on_dispatch(const hier::DispatchEvent& event) override {
+    if (trace_) {
+      trace_->dispatches.push_back({event.warp,
+                                    static_cast<std::uint32_t>(event.pc),
+                                    event.start, event.stages,
+                                    event.completion, event.active_threads,
+                                    event.unique_requests});
+    }
+    if (telemetry_) {
+      telemetry_->congestion.add(event.stages);
+      ++telemetry_->dispatches;
+      telemetry_->total_slots += event.stages;
+      // The warp was eligible from its ready slot; any gap to the
+      // dispatch slot is scheduler queueing delay.
+      telemetry_->warp_stall_slots += event.stall_slots;
+    }
+  }
+
+  void on_barrier_release(std::size_t pc) override {
+    machine_.finish_barrier(static_cast<std::uint32_t>(pc));
+  }
+
+ private:
+  Dmm& machine_;
+  telemetry::RunTelemetry* telemetry_;
+  Trace* trace_;
+};
+
+}  // namespace
+
+RunStats Dmm::run(const Kernel& kernel, Trace* trace) {
+  if (kernel.num_threads == 0) return {};
+  if (trace) trace->clear();
+  begin_run(kernel);
+
+  KernelWarpSource source(*this, kernel);
+  hier::RoundRobinScheduler scheduler;
+  scheduler.reset(source.num_warps());
+  hier::EventCore core(source.num_warps(), config_.latency);
+  DmmRunHooks hooks(*this, telemetry_, trace);
+  const hier::DispatchTotals& totals = core.run(source, scheduler, &hooks);
+
+  RunStats stats;
+  stats.time = totals.last_completion;
+  stats.total_stages = totals.total_stages;
+  stats.dispatches = totals.dispatches;
+  stats.max_congestion = totals.max_congestion;
+  stats.avg_congestion = totals.avg_congestion();
   return stats;
 }
 

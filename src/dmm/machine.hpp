@@ -43,6 +43,7 @@
 #include "dmm/config.hpp"
 #include "dmm/kernel.hpp"
 #include "dmm/trace.hpp"
+#include "hier/event.hpp"
 
 namespace rapsim::analyze {
 class ShmemSanitizer;
@@ -81,8 +82,40 @@ class Dmm {
   void fill_identity();
 
   /// Execute a kernel to completion. If `trace` is non-null it receives
-  /// one DispatchRecord per dispatched warp-instruction.
+  /// one DispatchRecord per dispatched warp-instruction. Implemented on
+  /// the shared event core (hier/event.hpp) with the round-robin policy;
+  /// the stepping API below lets external clocks (the hierarchy
+  /// simulator) drive the same machine one decision at a time.
   RunStats run(const Kernel& kernel, Trace* trace = nullptr);
+
+  // --- Stepping interface for external clocks (src/hier/) -------------
+  // Dmm::run is itself begin_run + KernelWarpSource + EventCore; a
+  // wrapper that wants its own clock/scheduler/memory-path performs the
+  // same sequence with its own core.
+
+  /// Result of one warp-instruction's data movement.
+  struct WarpAccess {
+    std::uint32_t congestion = 0;       // pipeline slots occupied
+    std::uint32_t unique_requests = 0;  // after CRCW merging
+    std::uint32_t active_threads = 0;
+  };
+
+  /// Reset per-run state (thread registers, telemetry sink, sanitizer
+  /// epoch, capture preamble) for `kernel`. Must be called before the
+  /// first warp_access of a run.
+  void begin_run(const Kernel& kernel);
+
+  /// Execute the data movement of warp `warp`'s instruction `instr_idx`
+  /// and report its cost. Untimed: the caller's clock decides when the
+  /// effects "happen" — within one warp the semantics are fixed, across
+  /// warps they follow the caller's dispatch order (scheduler-defined,
+  /// as on real hardware).
+  WarpAccess warp_access(const Kernel& kernel, std::uint32_t instr_idx,
+                         std::uint32_t warp);
+
+  /// Report a released barrier at instruction `instr_idx` (capture
+  /// record + sanitizer race-epoch advance). Call once per barrier.
+  void finish_barrier(std::uint32_t instr_idx);
 
   /// Install (or clear, with nullptr) a telemetry sink. While installed,
   /// every run() resets it and then feeds per-bank unique-request counts,
@@ -134,15 +167,43 @@ class Dmm {
   /// Execute the data movement of one warp-instruction and return its
   /// congestion (pipeline slots) and unique-request count. `instr_idx` is
   /// the kernel instruction index (sanitizer findings cite it).
-  struct WarpAccess {
-    std::uint32_t congestion = 0;
-    std::uint32_t unique_requests = 0;
-    std::uint32_t active_threads = 0;
-  };
   WarpAccess perform_warp_access(const Instruction& instr,
                                  std::uint32_t instr_idx,
                                  std::uint32_t warp_begin,
                                  std::uint32_t warp_end);
+};
+
+/// hier::WarpSource adapter over a straight-line dmm::Kernel: per-warp
+/// program counters with idle-instruction skipping (a warp with nothing
+/// to do in an instruction is never dispatched for it). Dmm::run drives
+/// one internally; the hierarchy simulator wraps one per SM and adds the
+/// memory-path penalty to each issue.
+class KernelWarpSource final : public hier::WarpSource {
+ public:
+  /// Machine and kernel must outlive the source; the machine must have
+  /// begin_run(kernel) called before the first issue().
+  KernelWarpSource(Dmm& machine, const Kernel& kernel);
+
+  [[nodiscard]] std::uint32_t num_warps() const noexcept {
+    return num_warps_;
+  }
+
+  [[nodiscard]] bool done(std::uint32_t warp) const override;
+  [[nodiscard]] bool at_barrier(std::uint32_t warp) const override;
+  [[nodiscard]] std::size_t pc(std::uint32_t warp) const override;
+  [[nodiscard]] hier::IssueResult issue(std::uint32_t warp) override;
+  void advance(std::uint32_t warp) override;
+
+ private:
+  [[nodiscard]] bool warp_has_active(std::uint32_t warp,
+                                     std::size_t instr_idx) const;
+  void advance_idle(std::uint32_t warp);
+
+  Dmm* machine_;
+  const Kernel* kernel_;
+  std::uint32_t width_;
+  std::uint32_t num_warps_;
+  std::vector<std::size_t> next_instr_;
 };
 
 }  // namespace rapsim::dmm

@@ -36,9 +36,14 @@ double SmTimingParams::addr_overhead_ns(core::Scheme scheme) const noexcept {
 
 double estimate_kernel_time_ns(const dmm::Trace& trace, core::Scheme scheme,
                                const SmTimingParams& params) {
-  std::uint64_t total_stages = 0;
-  for (const auto& d : trace.dispatches) total_stages += d.stages;
-  return estimate_time_ns(total_stages, trace.dispatches.size(), scheme,
+  hier::DispatchTotals totals;
+  for (const auto& d : trace.dispatches) totals.add(d.stages, d.completion);
+  return estimate_time_ns(totals, scheme, params);
+}
+
+double estimate_time_ns(const hier::DispatchTotals& totals,
+                        core::Scheme scheme, const SmTimingParams& params) {
+  return estimate_time_ns(totals.total_stages, totals.dispatches, scheme,
                           params);
 }
 

@@ -29,6 +29,7 @@
 
 #include "core/mapping.hpp"
 #include "dmm/trace.hpp"
+#include "hier/event.hpp"
 
 namespace rapsim::gpu {
 
@@ -58,10 +59,18 @@ struct SmTimingParams {
   [[nodiscard]] double addr_overhead_ns(core::Scheme scheme) const noexcept;
 };
 
-/// Estimated kernel time (ns) from a DMM trace under `scheme`.
+/// Estimated kernel time (ns) from a DMM trace under `scheme`. Re-sums
+/// the trace into hier::DispatchTotals — the same accumulator the live
+/// event core maintains — and defers to the totals overload.
 [[nodiscard]] double estimate_kernel_time_ns(const dmm::Trace& trace,
                                              core::Scheme scheme,
                                              const SmTimingParams& params);
+
+/// Estimate straight from the event core's dispatch accumulator (what
+/// the hierarchy simulator holds per SM after a run).
+[[nodiscard]] double estimate_time_ns(const hier::DispatchTotals& totals,
+                                      core::Scheme scheme,
+                                      const SmTimingParams& params);
 
 /// Closed-form estimate when only aggregate stage counts are known.
 [[nodiscard]] double estimate_time_ns(std::uint64_t total_stages,

@@ -1,0 +1,103 @@
+#include "hier/memory.hpp"
+
+#include <algorithm>
+
+namespace rapsim::hier {
+
+bool LruCache::access(std::uint64_t line) {
+  if (capacity_ == 0) return false;
+  ++tick_;
+  const auto it = stamp_.find(line);
+  if (it != stamp_.end()) {
+    it->second = tick_;
+    return true;
+  }
+  if (stamp_.size() >= capacity_) {
+    // Evict the least recently used line. Linear scan — capacities are
+    // model-sized (tens to hundreds of lines), not hardware-sized.
+    auto victim = stamp_.begin();
+    for (auto cur = stamp_.begin(); cur != stamp_.end(); ++cur) {
+      if (cur->second < victim->second) victim = cur;
+    }
+    stamp_.erase(victim);
+  }
+  stamp_.emplace(line, tick_);
+  return false;
+}
+
+FillResult SharedPath::fill(std::uint64_t line, std::uint64_t issue) {
+  FillResult result;
+  // Through the L2 port (bandwidth), then the L2 array (latency).
+  std::uint64_t t = issue;
+  if (params_.l2_service > 0) {
+    const std::uint64_t start = std::max(t, l2_next_free_);
+    queue_cycles_ += start - t;
+    l2_next_free_ = start + params_.l2_service;
+    t = start + params_.l2_service;
+  }
+  t += params_.l2.latency;
+  if (l2_.access(line)) {
+    ++l2_hits_;
+    result.done = t;
+    result.l2_hit = true;
+    return result;
+  }
+  ++l2_misses_;
+  // Miss: on to DRAM — port, then access latency.
+  if (params_.dram_service > 0) {
+    const std::uint64_t start = std::max(t, dram_next_free_);
+    queue_cycles_ += start - t;
+    dram_next_free_ = start + params_.dram_service;
+    t = start + params_.dram_service;
+  }
+  t += params_.dram_latency;
+  result.done = t;
+  return result;
+}
+
+std::uint64_t SmMemoryPath::access(std::vector<std::uint64_t>& lines,
+                                   std::uint64_t issue, std::uint64_t base) {
+  if (!params_.enabled() || lines.empty()) return 0;
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+  std::uint64_t last_arrival = 0;
+  for (const std::uint64_t line : lines) {
+    if (l1_.access(line)) {
+      ++l1_hits_;
+      last_arrival = std::max(last_arrival, issue + params_.l1.latency);
+      continue;
+    }
+    ++l1_misses_;
+    // MSHR admission: retire fills that completed by now, then wait for
+    // the earliest outstanding one if all registers are busy.
+    std::uint64_t start = issue;
+    if (params_.mshrs > 0) {
+      inflight_.erase(std::remove_if(inflight_.begin(), inflight_.end(),
+                                     [&](std::uint64_t done) {
+                                       return done <= start;
+                                     }),
+                      inflight_.end());
+      while (inflight_.size() >= params_.mshrs) {
+        const auto earliest =
+            std::min_element(inflight_.begin(), inflight_.end());
+        const std::uint64_t wait_until = *earliest;
+        mshr_stall_cycles_ += wait_until - start;
+        start = wait_until;
+        inflight_.erase(earliest);
+      }
+    }
+    const FillResult fill =
+        shared_->fill(line, start + params_.l1.latency);
+    if (fill.l2_hit) {
+      ++l2_hits_;
+    } else {
+      ++dram_fills_;
+    }
+    if (params_.mshrs > 0) inflight_.push_back(fill.done);
+    last_arrival = std::max(last_arrival, fill.done);
+  }
+  return last_arrival > base ? last_arrival - base : 0;
+}
+
+}  // namespace rapsim::hier

@@ -1,0 +1,167 @@
+// The L1/L2/DRAM path of the hierarchy simulator.
+//
+// Model (deliberately small, fully deterministic):
+//
+//   * The kernel's logical address space is backed by global memory in
+//     lines of `line_words` words. Every dispatched warp-instruction
+//     must have its touched lines present in the SM's L1 before its data
+//     can arrive; a line that is absent is filled through L2 and (on an
+//     L2 miss) DRAM. The warp's completion waits for its slowest fill —
+//     the shared-memory pipeline itself is NOT blocked, which is exactly
+//     the latency-tolerance mechanism warp scheduling exploits.
+//   * L1 is per-SM, L2 is shared by all SMs; both are fully-associative
+//     LRU over `lines` cache lines (0 lines = no cache at that level:
+//     every access misses through).
+//   * L2 and DRAM are bandwidth-limited servers: a fill occupies the
+//     level's port for `service` cycles, so concurrent fills from many
+//     SMs queue behind one another (next_free bookkeeping). service = 0
+//     means unlimited bandwidth at that level.
+//   * Each SM has `mshrs` miss-status-holding registers: at most that
+//     many fills in flight; a miss arriving with all MSHRs busy waits
+//     for the earliest outstanding fill to retire (counted as MSHR stall
+//     cycles). mshrs = 0 means unlimited.
+//
+// PathParams::zero() disables the path entirely (line_words = 0): no
+// line is ever looked up and every IssueResult::extra_latency is 0 —
+// the configuration under which a 1-SM hierarchy reproduces the Dmm
+// bit for bit (the differential pin in tests/hier_differential_test.cpp).
+//
+// Determinism: the multi-SM driver steps SMs in nondecreasing clock
+// order, so fills arrive at the shared servers with nondecreasing issue
+// times and the queue bookkeeping below never needs reordering.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rapsim::hier {
+
+/// One cache level: capacity (lines; 0 = bypass) and traversal latency.
+struct CacheParams {
+  std::uint64_t lines = 0;
+  std::uint32_t latency = 0;
+};
+
+struct PathParams {
+  std::uint32_t line_words = 0;  // words per line; 0 disables the path
+  CacheParams l1;                // per-SM
+  CacheParams l2;                // shared across SMs
+  std::uint32_t l2_service = 0;   // port cycles per fill through L2
+  std::uint32_t dram_latency = 0;
+  std::uint32_t dram_service = 0;  // port cycles per fill through DRAM
+  std::uint32_t mshrs = 0;         // per-SM outstanding-fill limit
+
+  [[nodiscard]] bool enabled() const noexcept { return line_words > 0; }
+
+  /// The differential-pin configuration: no path at all.
+  [[nodiscard]] static PathParams zero() noexcept { return {}; }
+
+  /// GPU-flavoured defaults: 32-word lines, 64-line L1 (2 KiB of words)
+  /// at 4 cycles, 512-line shared L2 at 16 cycles with a 2-cycle port,
+  /// 200-cycle DRAM with a 4-cycle port, 8 MSHRs per SM.
+  [[nodiscard]] static PathParams defaults() noexcept {
+    PathParams p;
+    p.line_words = 32;
+    p.l1 = {64, 4};
+    p.l2 = {512, 16};
+    p.l2_service = 2;
+    p.dram_latency = 200;
+    p.dram_service = 4;
+    p.mshrs = 8;
+    return p;
+  }
+};
+
+/// Fully-associative LRU set of cache lines. Capacity 0 = bypass (every
+/// access misses, nothing is retained).
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t lines) : capacity_(lines) {}
+
+  /// True on hit. A miss inserts the line (allocate on fill), evicting
+  /// the least recently used one when full.
+  bool access(std::uint64_t line);
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return stamp_.size(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> stamp_;  // line -> recency
+};
+
+/// Per-fill outcome reported by the shared path.
+struct FillResult {
+  std::uint64_t done = 0;  // cycle at which the line reaches the SM
+  bool l2_hit = false;
+};
+
+/// The shared half of the path: the L2 cache and the L2/DRAM ports.
+/// One instance is shared by every SM of a HierSim.
+class SharedPath {
+ public:
+  explicit SharedPath(const PathParams& params) : params_(params), l2_(params.l2.lines) {}
+
+  /// Fill `line` for a request issued at `issue`. The driver steps SMs
+  /// in nondecreasing clock order, so arrivals are near-sorted; a fill
+  /// delayed past another SM's clock (MSHR wait) simply queues behind
+  /// whatever already claimed the port — deterministic either way.
+  FillResult fill(std::uint64_t line, std::uint64_t issue);
+
+  [[nodiscard]] std::uint64_t l2_hits() const noexcept { return l2_hits_; }
+  [[nodiscard]] std::uint64_t l2_misses() const noexcept { return l2_misses_; }
+  [[nodiscard]] std::uint64_t queue_cycles() const noexcept {
+    return queue_cycles_;  // cycles fills spent waiting for a busy port
+  }
+
+ private:
+  PathParams params_;
+  LruCache l2_;
+  std::uint64_t l2_next_free_ = 0;
+  std::uint64_t dram_next_free_ = 0;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t l2_misses_ = 0;
+  std::uint64_t queue_cycles_ = 0;
+};
+
+/// The per-SM half: L1 lookup + MSHR tracking. Converts the set of lines
+/// one warp-instruction touches into the extra completion latency the
+/// event core charges.
+class SmMemoryPath {
+ public:
+  SmMemoryPath(const PathParams& params, SharedPath* shared)
+      : params_(params), shared_(shared), l1_(params.l1.lines) {}
+
+  /// Account one warp-instruction's line set, issued at cycle `issue`
+  /// with base completion `base` (start + stages + latency - 1). Returns
+  /// the extra latency beyond `base` until the slowest line arrives.
+  /// `lines` may contain duplicates; they are deduplicated in place.
+  std::uint64_t access(std::vector<std::uint64_t>& lines,
+                       std::uint64_t issue, std::uint64_t base);
+
+  [[nodiscard]] std::uint64_t l1_hits() const noexcept { return l1_hits_; }
+  [[nodiscard]] std::uint64_t l1_misses() const noexcept { return l1_misses_; }
+  [[nodiscard]] std::uint64_t l2_hits() const noexcept { return l2_hits_; }
+  [[nodiscard]] std::uint64_t dram_fills() const noexcept {
+    return dram_fills_;
+  }
+  [[nodiscard]] std::uint64_t mshr_stall_cycles() const noexcept {
+    return mshr_stall_cycles_;
+  }
+
+ private:
+  PathParams params_;
+  SharedPath* shared_;  // not owned; shared across SMs
+  LruCache l1_;
+  std::vector<std::uint64_t> inflight_;  // completion cycles of open fills
+  std::uint64_t l1_hits_ = 0;
+  std::uint64_t l1_misses_ = 0;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t dram_fills_ = 0;
+  std::uint64_t mshr_stall_cycles_ = 0;
+};
+
+}  // namespace rapsim::hier

@@ -105,4 +105,12 @@ void Hmm::run_shared(const dmm::Kernel& kernel) {
   charge_shared(shared_.run(kernel));
 }
 
+void HmmStats::flush_into(telemetry::MetricsRegistry& registry,
+                          const telemetry::Labels& labels) const {
+  registry.counter("hmm.global_time_units", labels).set(global_time);
+  registry.counter("hmm.shared_time_units", labels).set(shared_time);
+  registry.counter("hmm.global_slots", labels).set(global_slots);
+  registry.counter("hmm.shared_slots", labels).set(shared_slots);
+}
+
 }  // namespace rapsim::hmm

@@ -30,6 +30,7 @@
 #include "core/mapping2d.hpp"
 #include "dmm/machine.hpp"
 #include "dmm/umm.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rapsim::hmm {
 
@@ -52,6 +53,13 @@ struct HmmStats {
   std::uint64_t shared_time = 0;   // DMM time units
   std::uint64_t global_slots = 0;  // coalescing metric (rows touched)
   std::uint64_t shared_slots = 0;  // bank-conflict metric (congestion sum)
+
+  /// Register the four accumulators under the given labels as counters
+  /// hmm.global_time_units, hmm.shared_time_units, hmm.global_slots and
+  /// hmm.shared_slots — the same registry document every other
+  /// subsystem's telemetry flows into (results/metrics/ consumers).
+  void flush_into(telemetry::MetricsRegistry& registry,
+                  const telemetry::Labels& labels) const;
 };
 
 /// Global + shared machine pair. `shared_map` governs the shared memory

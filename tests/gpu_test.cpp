@@ -94,6 +94,53 @@ TEST(SmModel, CalibrateRejectsDegenerateAnchors) {
                std::invalid_argument);
 }
 
+TEST(SmModel, CalibrateAcceptsZeroLaunchBoundary) {
+  // Anchors on a pure proportional law: launch_ns = 0 is physical and
+  // must be accepted (only negative intercepts are rejected).
+  const auto fitted = SmTimingParams::calibrate(100, 200.0, 50, 100.0);
+  EXPECT_NEAR(fitted.launch_ns, 0.0, 1e-12);
+  EXPECT_NEAR(fitted.stage_ns, 2.0, 1e-12);
+}
+
+TEST(SmModel, TotalsOverloadMatchesTraceAndClosedForm) {
+  // The trace overload re-sums into hier::DispatchTotals and defers to
+  // the totals overload, which defers to the closed form — all three
+  // entry points must agree exactly for every scheme.
+  dmm::Trace trace;
+  trace.dispatches = {{0, 0, 0, 3, 4, 32, 3},
+                      {1, 1, 3, 1, 5, 32, 1},
+                      {0, 2, 4, 7, 12, 16, 7}};
+  hier::DispatchTotals totals;
+  std::uint64_t stages = 0;
+  for (const auto& d : trace.dispatches) {
+    totals.add(d.stages, d.completion);
+    stages += d.stages;
+  }
+  EXPECT_EQ(totals.max_congestion, 7u);
+  EXPECT_EQ(totals.last_completion, 12u);
+
+  const auto p = SmTimingParams::titan_calibrated();
+  for (const core::Scheme scheme : {core::Scheme::kRaw, core::Scheme::kRas,
+                                    core::Scheme::kRap}) {
+    const double from_trace = estimate_kernel_time_ns(trace, scheme, p);
+    const double from_totals = estimate_time_ns(totals, scheme, p);
+    const double closed =
+        estimate_time_ns(stages, trace.dispatches.size(), scheme, p);
+    EXPECT_DOUBLE_EQ(from_trace, from_totals);
+    EXPECT_DOUBLE_EQ(from_totals, closed);
+  }
+}
+
+TEST(SmModel, EmptyTraceCostsLaunchOnly) {
+  const dmm::Trace trace;
+  const hier::DispatchTotals totals;
+  const SmTimingParams p{10.0, 2.0, 0.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(estimate_kernel_time_ns(trace, core::Scheme::kRas, p),
+                   10.0);
+  EXPECT_DOUBLE_EQ(estimate_time_ns(totals, core::Scheme::kRas, p), 10.0);
+  EXPECT_DOUBLE_EQ(totals.avg_congestion(), 0.0);
+}
+
 TEST(SmModel, LinearInStagesAndDispatches) {
   const SmTimingParams p{10.0, 2.0, 0.0, 1.0, 0.5};
   EXPECT_DOUBLE_EQ(estimate_time_ns(100, 10, core::Scheme::kRaw, p),

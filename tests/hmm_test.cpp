@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/factory.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rapsim::hmm {
 namespace {
@@ -106,6 +107,35 @@ INSTANTIATE_TEST_SUITE_P(
              std::string(core::scheme_name(std::get<1>(param_info.param))) +
              "_t" + std::to_string(std::get<2>(param_info.param));
     });
+
+TEST(Hmm, StatsFlushIntoMetricsRegistry) {
+  const auto map = core::make_matrix_map(Scheme::kRaw, 4, 4, 1);
+  Hmm machine(HmmConfig{4, 1, 8}, *map, 64);
+  CopyPhase phase(4);
+  for (std::uint32_t t = 0; t < 4; ++t) phase[t] = CopyOp{t, t};
+  machine.copy_in(phase, 4);
+
+  telemetry::MetricsRegistry registry;
+  const telemetry::Labels labels = {{"strategy", "test"}, {"n", "8"}};
+  machine.stats().flush_into(registry, labels);
+
+  const auto* global_time =
+      registry.find_counter("hmm.global_time_units", labels);
+  ASSERT_NE(global_time, nullptr);
+  EXPECT_EQ(global_time->value(), machine.stats().global_time);
+  const auto* shared_time =
+      registry.find_counter("hmm.shared_time_units", labels);
+  ASSERT_NE(shared_time, nullptr);
+  EXPECT_EQ(shared_time->value(), machine.stats().shared_time);
+  const auto* global_slots = registry.find_counter("hmm.global_slots", labels);
+  ASSERT_NE(global_slots, nullptr);
+  EXPECT_EQ(global_slots->value(), machine.stats().global_slots);
+  const auto* shared_slots = registry.find_counter("hmm.shared_slots", labels);
+  ASSERT_NE(shared_slots, nullptr);
+  EXPECT_EQ(shared_slots->value(), machine.stats().shared_slots);
+  // Different labels are a different time series: absent.
+  EXPECT_EQ(registry.find_counter("hmm.global_slots", {{"n", "16"}}), nullptr);
+}
 
 TEST(TiledTranspose, GlobalCoalescingStructure) {
   const TiledTransposeConfig config{8, 2, 1, 8};

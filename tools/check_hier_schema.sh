@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Validate the machine-readable contracts of the hierarchy simulator:
+#
+#   tools/check_hier_schema.sh [path/to/rapsim-hier] [path/to/ext_hier_scaling]
+#
+# 1. rapsim-hier --format=json: the run document must parse, carry
+#    schema_version 1, echo the configuration (including the full path
+#    geometry), report consistent totals (total.dispatches = sum over
+#    SMs, cycles = max over SMs), and embed a metrics registry dump with
+#    the hier.* counters.
+# 2. ext_hier_scaling --bench-json (the BENCH_hier.json producer): the
+#    generic BENCH_*.json aggregate schema plus the hier-specific
+#    contract — all nine cycles_sms<N>_<sched> config cells present, and
+#    at >= 2 SMs the cycle counts must NOT be identical across the three
+#    schedulers (the scheduler has to matter once SMs contend).
+#
+# Registered as the ctest entry `hier_schema` with SKIP_RETURN_CODE 77:
+# a host without python3 skips rather than fails.
+
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+# shellcheck source=tools/json_schema_lib.sh
+. "$HERE/json_schema_lib.sh"
+
+HIER_BIN="${1:-build/tools/rapsim-hier}"
+BENCH_BIN="${2:-build/bench/ext_hier_scaling}"
+for bin in "$HIER_BIN" "$BENCH_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_hier_schema: binary not found: $bin" >&2
+    exit 1
+  fi
+done
+
+json_schema_require_python3 check_hier_schema 77
+
+DOC="$(json_schema_tmpfile)"
+BENCH_DOC="$DOC.bench"
+trap 'rm -f "$DOC" "$BENCH_DOC"' EXIT
+
+"$HIER_BIN" --workload=bitonic --width=16 --sms=2 --scheduler=gto \
+    --scheme=rap --format=json > "$DOC"
+
+json_schema_validate "$DOC" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"hier run schema violation: {what}")
+
+require(doc.get("schema_version") == 1, "schema_version must be 1")
+
+config = doc.get("config")
+require(isinstance(config, dict), "config must be an object")
+require(config.get("workload") == "bitonic", "config.workload must echo")
+require(config.get("width") == 16, "config.width must echo")
+require(config.get("sms") == 2, "config.sms must echo")
+require(config.get("scheduler") == "gto", "config.scheduler must echo")
+require(isinstance(config.get("scheme"), str) and config["scheme"],
+        "config.scheme must be a non-empty string")
+path = config.get("path")
+require(isinstance(path, dict), "config.path must be an object")
+require(path.get("enabled") is True, "path must default to enabled")
+for key in ("line_words", "l1_lines", "l1_latency", "l2_lines",
+            "l2_latency", "l2_service", "dram_latency", "dram_service",
+            "mshrs"):
+    require(isinstance(path.get(key), int) and path[key] >= 0,
+            f"path.{key} must be a non-negative int")
+
+total = doc.get("total")
+require(isinstance(total, dict), "total must be an object")
+for key in ("cycles", "dispatches", "total_stages", "max_congestion",
+            "l2_hits", "l2_misses", "l2_queue_cycles"):
+    require(isinstance(total.get(key), int) and total[key] >= 0,
+            f"total.{key} must be a non-negative int")
+for key in ("avg_congestion", "est_ns"):
+    require(isinstance(total.get(key), (int, float)),
+            f"total.{key} must be a number")
+require(total["cycles"] > 0, "total.cycles must be positive")
+
+sms = doc.get("sms")
+require(isinstance(sms, list) and len(sms) == 2,
+        "sms must be an array of 2 entries")
+for i, sm in enumerate(sms):
+    require(isinstance(sm, dict), f"sms[{i}] must be an object")
+    require(sm.get("sm") == i, f"sms[{i}].sm must be {i}")
+    for key in ("cycles", "dispatches", "total_stages", "max_congestion",
+                "l1_hits", "l1_misses", "l2_hits", "dram_fills",
+                "mshr_stall_cycles", "mem_wait_cycles", "idle_slots",
+                "warp_stall_slots"):
+        require(isinstance(sm.get(key), int) and sm[key] >= 0,
+                f"sms[{i}].{key} must be a non-negative int")
+require(total["dispatches"] == sum(sm["dispatches"] for sm in sms),
+        "total.dispatches must be the sum over SMs")
+require(total["cycles"] == max(sm["cycles"] for sm in sms),
+        "total.cycles must be the max over SMs")
+
+metrics = doc.get("metrics")
+require(isinstance(metrics, dict), "metrics must be a registry dump")
+counters = {c["name"] for c in metrics.get("counters", [])}
+for name in ("hier.cycles", "hier.dispatches", "hier.l2_hits",
+             "hier.sm_cycles", "hier.l1_misses"):
+    require(name in counters, f"missing registry counter {name}")
+
+print(f"check_hier_schema: run document OK "
+      f"({total['cycles']} cycles over {len(sms)} SMs)")
+EOF
+
+"$BENCH_BIN" --bench-json="$BENCH_DOC" --quick > /dev/null
+
+json_schema_validate "$BENCH_DOC" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"hier bench schema violation: {what}")
+
+require(doc.get("schema_version") == 1, "schema_version must be 1")
+require(doc.get("bench") == "ext_hier_scaling",
+        "bench must be ext_hier_scaling")
+require(isinstance(doc.get("unix_time"), int), "unix_time must be an int")
+
+machine = doc.get("machine")
+require(isinstance(machine, dict), "machine must be an object")
+for key in ("hostname", "os", "compiler"):
+    require(isinstance(machine.get(key), str) and machine[key],
+            f"machine.{key} must be a non-empty string")
+
+config = doc.get("config")
+require(isinstance(config, dict), "config must be an object")
+SCHEDULERS = ("roundrobin", "gto", "dwr")
+for sms in (1, 2, 4):
+    for sched in SCHEDULERS:
+        key = f"cycles_sms{sms}_{sched}"
+        require(isinstance(config.get(key), int) and config[key] > 0,
+                f"config.{key} must be a positive int")
+
+# The scheduler must matter once SMs contend for the shared ports.
+for sms in (2, 4):
+    cycles = {config[f"cycles_sms{sms}_{s}"] for s in SCHEDULERS}
+    require(len(cycles) > 1,
+            f"cycle counts at {sms} SMs are scheduler-independent")
+
+metrics = doc.get("metrics")
+require(isinstance(metrics, list) and len(metrics) == 9,
+        "metrics must hold the nine sim_* series")
+INT_FIELDS = ("samples", "items", "total_ns", "p50_ns", "p95_ns",
+              "p99_ns", "min_ns", "max_ns")
+NUM_FIELDS = ("ops_per_sec", "ns_per_op", "mean_ns", "stddev_ns")
+for metric in metrics:
+    require(isinstance(metric, dict), "each metric must be an object")
+    name = metric.get("name")
+    require(isinstance(name, str) and name.startswith("sim_sms"),
+            "metric names must be sim_sms<N>_<sched>")
+    for key in INT_FIELDS:
+        require(isinstance(metric.get(key), int) and metric[key] >= 0,
+                f"{name}.{key} must be a non-negative int")
+    for key in NUM_FIELDS:
+        require(isinstance(metric.get(key), (int, float)),
+                f"{name}.{key} must be a number")
+    require(metric["samples"] > 0, f"{name} recorded no samples")
+    require(metric["ns_per_op"] > 0, f"{name}.ns_per_op must be positive")
+
+print("check_hier_schema: bench document OK (9 cells, "
+      "scheduler-dependent at >= 2 SMs)")
+EOF

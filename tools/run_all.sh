@@ -110,13 +110,17 @@ mkdir -p results/bench
   --bench-json=results/bench/BENCH_synth.json --quick
 "$BUILD_DIR"/bench/ext_vm_workloads \
   --bench-json=results/bench/BENCH_vm.json --quick
+"$BUILD_DIR"/bench/ext_hier_scaling \
+  --bench-json=results/bench/BENCH_hier.json --quick
 tools/check_bench_schema.sh "$BUILD_DIR"/bench/theorem2_bound_sweep \
   || [ $? -eq 77 ]
 tools/check_vm_schema.sh "$BUILD_DIR"/bench/ext_vm_workloads \
   || [ $? -eq 77 ]
+tools/check_hier_schema.sh "$BUILD_DIR"/tools/rapsim-hier \
+  "$BUILD_DIR"/bench/ext_hier_scaling || [ $? -eq 77 ]
 COMPARE="$BUILD_DIR/tools/bench_compare"
 for baseline in BENCH_table2.json BENCH_serve.json BENCH_synth.json \
-                BENCH_vm.json; do
+                BENCH_vm.json BENCH_hier.json; do
   [ -f "$baseline" ] || continue
   "$COMPARE" "$baseline" "results/bench/$baseline" \
     || echo "bench_compare: $baseline moved past the threshold (see above)"
@@ -143,6 +147,24 @@ done
 "$BUILD_DIR"/tools/rapsim-lint --program=examples/shearsort.rvm \
   --width=16 --synthesize --format=json --fail-on=never \
   --out=results/vm/lint_shearsort_example.json
+
+echo "=== hierarchy simulation -> results/hier/ ==="
+mkdir -p results/hier
+# One full-path hierarchy run per scheduler (DESIGN.md §16): same
+# workload, map seed and memory path, so the three documents differ only
+# by warp-scheduling policy. The per-SM stats and hier.* metric registry
+# are embedded in each JSON document.
+HIER="$BUILD_DIR/tools/rapsim-hier"
+for scheduler in roundrobin gto dwr; do
+  "$HIER" --workload=bitonic --width=32 --sms=4 --scheduler="$scheduler" \
+    --scheme=rap --format=json > "results/hier/bitonic_${scheduler}.json"
+done
+"$HIER" --program=examples/shearsort.rvm --width=16 --sms=2 \
+  --scheduler=gto --scheme=rap --format=json \
+  > results/hier/shearsort_example.json
+# HMM cost counters for the tiled-transpose cells (same registry schema).
+"$BUILD_DIR"/bench/ext_tiled_transpose --seeds=2 \
+  --metrics-out=results/metrics/hmm_tiled_transpose.json > /dev/null
 
 echo "=== static lint reports -> results/analysis/ ==="
 mkdir -p results/analysis
